@@ -1,0 +1,159 @@
+//! One Criterion bench per paper figure: each runs a reduced sweep of
+//! the corresponding experiment through the deterministic simulator and
+//! reports the harness wall time. The full-resolution sweeps (the actual
+//! figure data) are the `figure2`..`figure5` bin targets; these benches
+//! guarantee `cargo bench` regenerates representative rows of every
+//! figure and prints them.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hcf_bench::{avl_point, hash_point, pq_point, stack_point};
+use hcf_core::{Phase, Variant};
+
+const THREADS: &[usize] = &[1, 8, 18];
+const BENCH_DURATION: u64 = 150_000;
+
+fn with_duration<T>(f: impl FnOnce() -> T) -> T {
+    // The harness reads HCF_DURATION; pin it to the reduced bench value.
+    std::env::set_var("HCF_DURATION", BENCH_DURATION.to_string());
+    let out = f();
+    std::env::remove_var("HCF_DURATION");
+    out
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2");
+    for &(sub, find_pct, dual) in &[("a", 100u32, false), ("b", 80, true), ("c", 40, false)] {
+        for &threads in THREADS {
+            for v in [Variant::Hcf, Variant::Tle, Variant::Fc] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("2{sub}/{v}"), threads),
+                    &threads,
+                    |b, &t| {
+                        b.iter(|| {
+                            with_duration(|| {
+                                let r = hash_point(t, v, find_pct, dual);
+                                eprintln!(
+                                    "figure2{sub} {v} threads={t} tp={:.0} ops/Mcycle",
+                                    r.throughput()
+                                );
+                                r.total_ops
+                            })
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    c.bench_function("figure3/phase-breakdown", |b| {
+        b.iter(|| {
+            with_duration(|| {
+                let r = hash_point(12, Variant::Hcf, 40, false);
+                let phases = r.exec.completed_by_phase();
+                eprintln!(
+                    "figure3 threads=12 private={} visible={} combining={} lock={}",
+                    phases[Phase::Private as usize],
+                    phases[Phase::Visible as usize],
+                    phases[Phase::Combining as usize],
+                    phases[Phase::Lock as usize],
+                );
+                r.total_ops
+            })
+        })
+    });
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    c.bench_function("figure4/combining-degree", |b| {
+        b.iter(|| {
+            with_duration(|| {
+                let hcf = hash_point(12, Variant::Hcf, 40, false);
+                let tlefc = hash_point(12, Variant::TleFc, 40, false);
+                eprintln!(
+                    "figure4 threads=12 degree HCF={:.2} TLE+FC={:.2}; misses/op HCF={:.2} TLE+FC={:.2}",
+                    hcf.exec.avg_degree(),
+                    tlefc.exec.avg_degree(),
+                    hcf.misses_per_op(),
+                    tlefc.misses_per_op(),
+                );
+                hcf.total_ops + tlefc.total_ops
+            })
+        })
+    });
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure5");
+    for &(sub, find_pct) in &[("a", 0u32), ("b", 40), ("c", 80)] {
+        for v in [Variant::Hcf, Variant::Tle, Variant::Fc] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("5{sub}"), format!("{v}")),
+                &find_pct,
+                |b, &pct| {
+                    b.iter(|| {
+                        with_duration(|| {
+                            let r = avl_point(12, v, pct);
+                            eprintln!(
+                                "figure5{sub} {v} threads=12 tp={:.0} ops/Mcycle",
+                                r.throughput()
+                            );
+                            r.total_ops
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    c.bench_function("X4/fifo-queue", |b| {
+        b.iter(|| {
+            with_duration(|| {
+                let r = hcf_bench::queue_point(12, Variant::Hcf, 50);
+                eprintln!("X4 HCF threads=12 tp={:.0}", r.throughput());
+                r.total_ops
+            })
+        })
+    });
+    c.bench_function("X1/priority-queue", |b| {
+        b.iter(|| {
+            with_duration(|| {
+                let r = pq_point(12, Variant::Hcf, 50);
+                eprintln!("X1 HCF threads=12 tp={:.0}", r.throughput());
+                r.total_ops
+            })
+        })
+    });
+    c.bench_function("X3/stack-honesty", |b| {
+        b.iter(|| {
+            with_duration(|| {
+                let fc = stack_point(12, Variant::Fc, 50);
+                let tle = stack_point(12, Variant::Tle, 50);
+                eprintln!(
+                    "X3 threads=12 FC={:.0} TLE={:.0}",
+                    fc.throughput(),
+                    tle.throughput()
+                );
+                fc.total_ops + tle.total_ops
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_figure2, bench_figure3, bench_figure4, bench_figure5, bench_extensions
+}
+criterion_main!(benches);

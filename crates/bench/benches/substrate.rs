@@ -1,0 +1,134 @@
+//! Microbenchmarks of the transactional-memory substrate (real wall
+//! time, real runtime): the per-access and per-transaction overheads
+//! every experiment builds on.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hcf_tmem::{DirectCtx, ElidableLock, MemCtx, RealRuntime, TMem, TMemConfig};
+
+fn substrate(c: &mut Criterion) {
+    let mem = Arc::new(TMem::new(TMemConfig::default()));
+    let rt = RealRuntime::new();
+    let a = mem.alloc_direct(64).unwrap();
+
+    let mut g = c.benchmark_group("tmem");
+
+    g.bench_function("direct_read", |b| {
+        b.iter(|| black_box(mem.read_direct(&rt, black_box(a))))
+    });
+
+    g.bench_function("direct_write", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            mem.write_direct(&rt, a, i);
+            i = i.wrapping_add(1);
+        })
+    });
+
+    g.bench_function("tx_readonly_4", |b| {
+        b.iter(|| {
+            let mut tx = mem.begin(&rt);
+            for k in 0..4 {
+                black_box(tx.read(a + k).unwrap());
+            }
+            tx.commit().unwrap();
+        })
+    });
+
+    g.bench_function("tx_read_write_4", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut tx = mem.begin(&rt);
+            for k in 0..4 {
+                let v = tx.read(a + k).unwrap();
+                tx.write(a + k, v + i).unwrap();
+            }
+            tx.commit().unwrap();
+            i = i.wrapping_add(1);
+        })
+    });
+
+    g.bench_function("tx_alloc_free", |b| {
+        b.iter(|| {
+            let mut tx = mem.begin(&rt);
+            let n = tx.alloc(5).unwrap();
+            tx.write(n, 1).unwrap();
+            tx.free(n, 5);
+            tx.commit().unwrap();
+        })
+    });
+
+    let lock = ElidableLock::new(mem.clone()).unwrap();
+    g.bench_function("lock_uncontended", |b| {
+        b.iter(|| {
+            lock.lock(&rt);
+            lock.unlock(&rt);
+        })
+    });
+
+    g.bench_function("subscription", |b| {
+        b.iter(|| {
+            let mut tx = mem.begin(&rt);
+            {
+                let mut ctx = hcf_tmem::TxCtx::new(&mut tx);
+                ctx.subscribe(&lock).unwrap();
+                black_box(ctx.read(a).unwrap());
+            }
+            tx.commit().unwrap();
+        })
+    });
+
+    g.finish();
+
+    let mut g = c.benchmark_group("ds_sequential");
+    g.bench_function("hashtable_find", |b| {
+        let mut ctx = DirectCtx::new(&mem, &rt);
+        let t = hcf_ds::HashTable::create(&mut ctx, 1024).unwrap();
+        for k in 0..512 {
+            t.insert(&mut ctx, k * 2, k).unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            black_box(t.find(&mut ctx, k % 1024).unwrap());
+            k = k.wrapping_add(7);
+        })
+    });
+    g.bench_function("queue_enqueue_dequeue", |b| {
+        let mut ctx = DirectCtx::new(&mem, &rt);
+        let q = hcf_ds::Queue::create(&mut ctx).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            q.enqueue(&mut ctx, v).unwrap();
+            black_box(q.dequeue(&mut ctx).unwrap());
+            v = v.wrapping_add(1);
+        })
+    });
+    g.bench_function("avl_insert_remove", |b| {
+        let mut ctx = DirectCtx::new(&mem, &rt);
+        let t = hcf_ds::AvlTree::create(&mut ctx).unwrap();
+        for k in 0..256 {
+            t.insert(&mut ctx, k * 2).unwrap();
+        }
+        let mut k = 1u64;
+        b.iter(|| {
+            t.insert(&mut ctx, k % 512).unwrap();
+            t.remove(&mut ctx, k % 512).unwrap();
+            k = k.wrapping_add(2);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = substrate
+}
+criterion_main!(benches);

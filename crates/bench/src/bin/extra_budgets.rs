@@ -1,0 +1,72 @@
+//! Extension A1b: phase-budget ablation. The paper fixes
+//! TryPrivate/TryVisible/TryCombining = 2/3/5 and remarks that "this
+//! setup works reasonably well across a wide range of data structures
+//! and workloads". This experiment sweeps the split of the same total
+//! budget (10) on the 40%-Find hash table to test that claim in our
+//! substrate.
+//!
+//! Expected shape: the extremes (all-private ≈ TLE, all-combining ≈
+//! skip-speculation) lose to the balanced splits at high thread counts;
+//! the exact optimum is flat around the paper's choice.
+
+use hcf_bench::{build_hash, hash_tmem, sim_config, thread_sweep, Csv};
+use hcf_core::{PhasePolicy, SelectPolicy, Variant};
+use hcf_ds::hashtable::{ARRAY_INSERTS, ARRAY_READERS};
+use hcf_sim::driver::run;
+use hcf_sim::workload::MapWorkload;
+use rand::prelude::*;
+
+const SPLITS: &[(u32, u32, u32)] = &[
+    (10, 0, 0),
+    (5, 3, 2),
+    (2, 3, 5), // the paper's default
+    (1, 2, 7),
+    (0, 0, 10),
+];
+
+fn main() {
+    let mut csv = Csv::new(
+        "extra_budgets",
+        "figure,split,threads,ops_per_mcycle,abort_rate,lock_acqs,avg_degree",
+    );
+    for &threads in &thread_sweep(&[1, 8, 18, 36]) {
+        for &(p, v, c) in SPLITS {
+            let mut cfg = sim_config(threads);
+            cfg.tmem = hash_tmem();
+            let w = MapWorkload {
+                key_range: hcf_bench::HASH_KEY_RANGE,
+                find_pct: 40,
+            };
+            let insert_policy = PhasePolicy {
+                try_private: p,
+                try_visible: v,
+                try_combining: c,
+                select: SelectPolicy::All,
+                specialized: true,
+            };
+            let r = run(
+                &cfg,
+                Variant::Hcf,
+                move |ctx, th| {
+                    let (ds, base) = build_hash(ctx, th)?;
+                    // Keep the reader policy fixed; sweep only inserts.
+                    let _ = base;
+                    Ok((
+                        ds,
+                        hcf_core::HcfConfig::new(th)
+                            .with_policy(ARRAY_READERS, PhasePolicy::tle_like(10))
+                            .with_policy(ARRAY_INSERTS, insert_policy),
+                    ))
+                },
+                move |_tid, rng: &mut StdRng| w.op(rng),
+            );
+            csv.line(&format!(
+                "A1b,{p}/{v}/{c},{threads},{:.2},{:.4},{},{:.3}",
+                r.throughput(),
+                r.exec.abort_rate(),
+                r.exec.lock_acqs,
+                r.exec.avg_degree(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension S1: cost-model sensitivity analysis — how robust are the
+//! reproduction's *qualitative* conclusions to the guessed cycle costs?
+//!
+//! For each perturbation of the cost model (halved/doubled remote-miss
+//! penalty, abort penalty, SMT slowdown off, commit overhead doubled) we
+//! re-run the figure-2(c) point at 24 threads and report whether the
+//! paper's headline ordering — HCF > TLE+FC ≥ SCM > TLE under update
+//! contention — survives. A reproduction whose conclusions flip with
+//! ±2× cost tweaks would not be trustworthy.
+
+use hcf_bench::{build_hash, hash_tmem, sim_config, Csv};
+use hcf_core::Variant;
+use hcf_sim::driver::run;
+use hcf_sim::workload::MapWorkload;
+use hcf_sim::CostModel;
+use rand::prelude::*;
+
+fn variant_tp(cost: CostModel, variant: Variant, threads: usize) -> f64 {
+    let mut cfg = sim_config(threads);
+    cfg.cost = cost;
+    cfg.tmem = hash_tmem();
+    let w = MapWorkload {
+        key_range: hcf_bench::HASH_KEY_RANGE,
+        find_pct: 40,
+    };
+    run(&cfg, variant, build_hash, move |_tid, rng: &mut StdRng| {
+        w.op(rng)
+    })
+    .throughput()
+}
+
+fn main() {
+    let base = CostModel::default();
+    let perturbations: Vec<(&str, CostModel)> = vec![
+        ("baseline", base),
+        (
+            "remote_miss_x2",
+            CostModel {
+                remote_miss: base.remote_miss * 2,
+                ..base
+            },
+        ),
+        (
+            "remote_miss_half",
+            CostModel {
+                remote_miss: base.remote_miss / 2,
+                ..base
+            },
+        ),
+        (
+            "abort_x2",
+            CostModel {
+                tx_abort: base.tx_abort * 2,
+                ..base
+            },
+        ),
+        (
+            "abort_half",
+            CostModel {
+                tx_abort: base.tx_abort / 2,
+                ..base
+            },
+        ),
+        (
+            "no_smt_penalty",
+            CostModel {
+                smt_factor: (1, 1),
+                ..base
+            },
+        ),
+        (
+            "commit_x2",
+            CostModel {
+                tx_begin: base.tx_begin * 2,
+                tx_commit: base.tx_commit * 2,
+                ..base
+            },
+        ),
+        (
+            "misses_x2",
+            CostModel {
+                local_miss: base.local_miss * 2,
+                cold_miss: base.cold_miss * 2,
+                remote_miss: base.remote_miss * 2,
+                ..base
+            },
+        ),
+    ];
+
+    let threads = 24;
+    let mut csv = Csv::new(
+        "extra_sensitivity",
+        "figure,perturbation,hcf,tle,scm,tlefc,ordering_holds",
+    );
+    for (name, cost) in perturbations {
+        let hcf = variant_tp(cost, Variant::Hcf, threads);
+        let tle = variant_tp(cost, Variant::Tle, threads);
+        let scm = variant_tp(cost, Variant::Scm, threads);
+        let tlefc = variant_tp(cost, Variant::TleFc, threads);
+        let holds = hcf > tle && hcf > scm && hcf > tlefc && scm > tle;
+        csv.line(&format!(
+            "S1,{name},{hcf:.1},{tle:.1},{scm:.1},{tlefc:.1},{holds}"
+        ));
+    }
+}

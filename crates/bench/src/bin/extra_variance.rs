@@ -1,0 +1,66 @@
+//! Extension S2: run-to-run variance. §3.2 of the paper: "We report the
+//! average total throughput based on five runs per each configuration.
+//! We note that the standard deviation of those results is small, in the
+//! order of a few percents or less from the mean for the vast majority
+//! of the results and up to 9.5% in the worst case."
+//!
+//! Our runs are deterministic for a fixed seed, so "five runs" means five
+//! workload seeds. This experiment reports the relative standard
+//! deviation over five seeds for representative points of figures 2 and
+//! 5, checking that seed-to-seed spread stays in the paper's ballpark.
+
+use hcf_bench::{build_avl, build_hash, hash_tmem, sim_config, Csv};
+use hcf_core::Variant;
+use hcf_ds::AvlMode;
+use hcf_sim::driver::run_seeds;
+use hcf_sim::workload::{MapWorkload, SetWorkload};
+use rand::prelude::*;
+
+fn main() {
+    let mut csv = Csv::new(
+        "extra_variance",
+        "figure,experiment,variant,threads,mean_tp,std_tp,rel_std_pct",
+    );
+    let runs = 5;
+
+    for &(threads, variant) in &[
+        (8usize, Variant::Hcf),
+        (24, Variant::Hcf),
+        (24, Variant::Tle),
+        (24, Variant::Fc),
+    ] {
+        let mut cfg = sim_config(threads);
+        cfg.tmem = hash_tmem();
+        let w = MapWorkload {
+            key_range: hcf_bench::HASH_KEY_RANGE,
+            find_pct: 40,
+        };
+        let gen = move |_tid: usize, rng: &mut StdRng| w.op(rng);
+        let m = run_seeds(&cfg, variant, runs, || build_hash, &gen);
+        csv.line(&format!(
+            "S2,hash-f40,{variant},{threads},{:.1},{:.1},{:.2}",
+            m.mean_throughput(),
+            m.std_throughput(),
+            m.rel_std_pct()
+        ));
+    }
+
+    for &(threads, variant) in &[(24usize, Variant::Hcf), (24, Variant::Scm)] {
+        let cfg = sim_config(threads);
+        let w = SetWorkload::new(hcf_bench::AVL_KEY_RANGE, hcf_bench::AVL_THETA, 40);
+        let gen = move |_tid: usize, rng: &mut StdRng| w.op(rng);
+        let m = run_seeds(
+            &cfg,
+            variant,
+            runs,
+            || |ctx: &mut dyn hcf_tmem::MemCtx, th: usize| build_avl(ctx, th, AvlMode::Selective),
+            &gen,
+        );
+        csv.line(&format!(
+            "S2,avl-zipf-f40,{variant},{threads},{:.1},{:.1},{:.2}",
+            m.mean_throughput(),
+            m.std_throughput(),
+            m.rel_std_pct()
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 2: hash-table throughput vs. thread count.
+//!
+//! * (a) 100% Find, one socket;
+//! * (b) 80% Find, both sockets (1..72 threads, NUMA effects);
+//! * (c) 40% Find, one socket.
+//!
+//! Usage: `figure2 [a|b|c|all]` (default `all`).
+
+use hcf_bench::{
+    hash_point, thread_sweep, throughput_row, Csv, DUAL_SOCKET_THREADS, SINGLE_SOCKET_THREADS,
+    THROUGHPUT_HEADER,
+};
+use hcf_core::Variant;
+
+fn sub(csv: &mut Csv, name: &str, find_pct: u32, dual: bool) {
+    let sweep = thread_sweep(if dual {
+        DUAL_SOCKET_THREADS
+    } else {
+        SINGLE_SOCKET_THREADS
+    });
+    let workload = format!("find{find_pct}");
+    for &threads in &sweep {
+        for v in Variant::ALL {
+            let r = hash_point(threads, v, find_pct, dual);
+            csv.line(&throughput_row(name, &workload, &r));
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut csv = Csv::new("figure2", THROUGHPUT_HEADER);
+    if matches!(which.as_str(), "a" | "all") {
+        sub(&mut csv, "2a", 100, false);
+    }
+    if matches!(which.as_str(), "b" | "all") {
+        sub(&mut csv, "2b", 80, true);
+    }
+    if matches!(which.as_str(), "c" | "all") {
+        sub(&mut csv, "2c", 40, false);
+    }
+}

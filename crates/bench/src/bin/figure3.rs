@@ -1,0 +1,38 @@
+//! Figure 3: percentage of operations completed in each HCF phase, on
+//! the 40%-Find hash-table workload — for all operations, for Inserts
+//! alone, and for Finds+Removes alone.
+
+use hcf_bench::{hash_point, thread_sweep, Csv, SINGLE_SOCKET_THREADS};
+use hcf_core::{Phase, Variant};
+use hcf_ds::hashtable::{ARRAY_INSERTS, ARRAY_READERS};
+
+fn main() {
+    let mut csv = Csv::new(
+        "figure3",
+        "figure,class,threads,private_pct,visible_pct,combining_pct,lock_pct",
+    );
+    for &threads in &thread_sweep(SINGLE_SOCKET_THREADS) {
+        let r = hash_point(threads, Variant::Hcf, 40, false);
+        let classes: [(&str, Vec<usize>); 3] = [
+            ("all", vec![ARRAY_READERS, ARRAY_INSERTS]),
+            ("insert", vec![ARRAY_INSERTS]),
+            ("find_remove", vec![ARRAY_READERS]),
+        ];
+        for (name, arrays) in classes {
+            let mut by_phase = [0u64; 4];
+            for &a in &arrays {
+                for p in Phase::ALL {
+                    by_phase[p as usize] += r.exec.arrays[a].completed[p as usize];
+                }
+            }
+            let total: u64 = by_phase.iter().sum::<u64>().max(1);
+            csv.line(&format!(
+                "3,{name},{threads},{:.2},{:.2},{:.2},{:.2}",
+                100.0 * by_phase[0] as f64 / total as f64,
+                100.0 * by_phase[1] as f64 / total as f64,
+                100.0 * by_phase[2] as f64 / total as f64,
+                100.0 * by_phase[3] as f64 / total as f64,
+            ));
+        }
+    }
+}

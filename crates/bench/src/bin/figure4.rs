@@ -1,0 +1,35 @@
+//! Figure 4 (the §3.3 combining-degree and cache-miss statistics): on
+//! the 40%-Find hash-table workload, for every variant, the average
+//! combining degree and the coherence misses per operation.
+//!
+//! Expected shape: HCF's combining degree grows with threads while
+//! TLE+FC's stays near 1 ("TLE+FC ... combines only a few operations in
+//! practice"), and HCF has the lowest misses per operation among the
+//! HTM-based variants under contention.
+
+use hcf_bench::{hash_point, thread_sweep, Csv, SINGLE_SOCKET_THREADS};
+use hcf_core::Variant;
+
+fn main() {
+    let mut csv = Csv::new(
+        "figure4",
+        "figure,variant,threads,avg_degree,misses_per_op,lock_acqs_per_kop,abort_rate",
+    );
+    for &threads in &thread_sweep(SINGLE_SOCKET_THREADS) {
+        for v in Variant::ALL {
+            let r = hash_point(threads, v, 40, false);
+            let lock_per_kop = if r.total_ops == 0 {
+                0.0
+            } else {
+                1000.0 * r.exec.lock_acqs as f64 / r.total_ops as f64
+            };
+            csv.line(&format!(
+                "4,{v},{threads},{:.3},{:.3},{:.2},{:.4}",
+                r.exec.avg_degree(),
+                r.misses_per_op(),
+                lock_per_kop,
+                r.exec.abort_rate(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Quick calibration probe: a few hash-table points with wall-time
+//! measurements, to size the full figure sweeps.
+
+use hcf_bench::{hash_point, THROUGHPUT_HEADER};
+use hcf_core::Variant;
+
+fn main() {
+    println!("{THROUGHPUT_HEADER},wall_ms");
+    for &threads in &[1usize, 4, 12, 24, 36] {
+        for v in [Variant::Hcf, Variant::Tle, Variant::Fc, Variant::Lock] {
+            let t0 = std::time::Instant::now();
+            let r = hash_point(threads, v, 40, false);
+            let wall = t0.elapsed().as_millis();
+            println!(
+                "{},{}",
+                hcf_bench::throughput_row("probe", "f40", &r),
+                wall
+            );
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Property-based tests: every data structure against its `std` model,
+//! including the combining `run_multi` paths, with proptest shrinking.
+
+use proptest::prelude::*;
+
+use hcf_core::DataStructure;
+use hcf_ds::*;
+use hcf_tmem::{DirectCtx, RealRuntime, TMem, TMemConfig};
+
+fn mem() -> (TMem, RealRuntime) {
+    (
+        TMem::new(TMemConfig::default().with_words(1 << 19)),
+        RealRuntime::new(),
+    )
+}
+
+#[derive(Clone, Debug)]
+enum MapStep {
+    Insert(u64, u64),
+    Remove(u64),
+    Find(u64),
+    InsertN(Vec<(u64, u64)>),
+}
+
+fn map_step() -> impl Strategy<Value = MapStep> {
+    let key = 0..48u64;
+    prop_oneof![
+        (key.clone(), 0..1000u64).prop_map(|(k, v)| MapStep::Insert(k, v)),
+        key.clone().prop_map(MapStep::Remove),
+        key.clone().prop_map(MapStep::Find),
+        proptest::collection::vec((key, 0..1000u64), 1..6).prop_map(MapStep::InsertN),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hashtable_matches_model(steps in proptest::collection::vec(map_step(), 1..120)) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let t = HashTable::create(&mut ctx, 8).unwrap();
+        let mut model = std::collections::HashMap::new();
+        for s in steps {
+            match s {
+                MapStep::Insert(k, v) => {
+                    prop_assert_eq!(t.insert(&mut ctx, k, v).unwrap(), model.insert(k, v));
+                }
+                MapStep::Remove(k) => {
+                    prop_assert_eq!(t.remove(&mut ctx, k).unwrap(), model.remove(&k));
+                }
+                MapStep::Find(k) => {
+                    prop_assert_eq!(t.find(&mut ctx, k).unwrap(), model.get(&k).copied());
+                }
+                MapStep::InsertN(pairs) => {
+                    let got = t.insert_n(&mut ctx, &pairs).unwrap();
+                    let want: Vec<Option<u64>> =
+                        pairs.iter().map(|&(k, v)| model.insert(k, v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert!(t.check_invariants(&mut ctx).unwrap());
+        }
+        prop_assert_eq!(t.len(&mut ctx).unwrap(), model.len() as u64);
+    }
+
+    #[test]
+    fn avl_matches_model(ops in proptest::collection::vec((0u8..3, 0..40u64), 1..200)) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let t = AvlTree::create(&mut ctx).unwrap();
+        let mut model = std::collections::BTreeSet::new();
+        for (op, k) in ops {
+            match op {
+                0 => prop_assert_eq!(t.insert(&mut ctx, k).unwrap(), model.insert(k)),
+                1 => prop_assert_eq!(t.remove(&mut ctx, k).unwrap(), model.remove(&k)),
+                _ => prop_assert_eq!(t.contains(&mut ctx, k).unwrap(), model.contains(&k)),
+            }
+            prop_assert!(t.check_invariants(&mut ctx).unwrap());
+        }
+        prop_assert_eq!(t.collect(&mut ctx).unwrap(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// The combined/eliminated AVL `run_multi` is equivalent to replaying
+    /// the batch in sorted-by-key order (its chosen linearization).
+    #[test]
+    fn avl_run_multi_equiv(
+        prefill in proptest::collection::btree_set(0..32u64, 0..16),
+        batch in proptest::collection::vec((0u8..3, 0..32u64), 1..12),
+    ) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let ta = AvlTree::create(&mut ctx).unwrap();
+        let tb = AvlTree::create(&mut ctx).unwrap();
+        for &k in &prefill {
+            ta.insert(&mut ctx, k).unwrap();
+            tb.insert(&mut ctx, k).unwrap();
+        }
+        let ops: Vec<SetOp> = batch
+            .iter()
+            .map(|&(op, k)| match op {
+                0 => SetOp::Insert(k),
+                1 => SetOp::Remove(k),
+                _ => SetOp::Contains(k),
+            })
+            .collect();
+        let dsa = AvlDs::new(ta, AvlMode::HelpAll);
+        let mut got = dsa.run_multi(&mut ctx, &ops).unwrap();
+        got.sort_by_key(|&(i, _)| i);
+
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| ops[i].key());
+        let dsb = AvlDs::new(tb, AvlMode::NoCombine);
+        let mut want: Vec<(usize, bool)> = order
+            .iter()
+            .map(|&i| (i, dsb.run_seq(&mut ctx, &ops[i]).unwrap()))
+            .collect();
+        want.sort_by_key(|&(i, _)| i);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(
+            dsa.tree().collect(&mut ctx).unwrap(),
+            dsb.tree().collect(&mut ctx).unwrap()
+        );
+        prop_assert!(dsa.tree().check_invariants(&mut ctx).unwrap());
+    }
+
+    #[test]
+    fn pq_matches_model(ops in proptest::collection::vec((any::<bool>(), 0..64u64), 1..150)) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let pq = SkipListPq::create(&mut ctx).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (ins, k) in ops {
+            if ins {
+                let expect = !model.contains_key(&k);
+                prop_assert_eq!(pq.insert(&mut ctx, k, k * 3).unwrap(), expect);
+                if expect {
+                    model.insert(k, k * 3);
+                }
+            } else {
+                prop_assert_eq!(pq.remove_min(&mut ctx).unwrap(), model.pop_first());
+            }
+        }
+        prop_assert!(pq.check_invariants(&mut ctx).unwrap());
+        prop_assert_eq!(
+            pq.collect(&mut ctx).unwrap(),
+            model.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Stack and deque elimination `run_multi` both equal in-order replay.
+    #[test]
+    fn stack_run_multi_equiv(
+        prefill in proptest::collection::vec(1000..2000u64, 0..5),
+        batch in proptest::collection::vec(proptest::option::of(0..100u64), 1..15),
+    ) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let sa = Stack::create(&mut ctx).unwrap();
+        let sb = Stack::create(&mut ctx).unwrap();
+        for &v in &prefill {
+            sa.push(&mut ctx, v).unwrap();
+            sb.push(&mut ctx, v).unwrap();
+        }
+        let ops: Vec<StackOp> = batch
+            .iter()
+            .map(|o| match o {
+                Some(v) => StackOp::Push(*v),
+                None => StackOp::Pop,
+            })
+            .collect();
+        let dsa = StackDs::new(sa);
+        let dsb = StackDs::new(sb);
+        let mut got = dsa.run_multi(&mut ctx, &ops).unwrap();
+        got.sort_by_key(|&(i, _)| i);
+        let want: Vec<(usize, Option<u64>)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (i, dsb.run_seq(&mut ctx, op).unwrap()))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(
+            dsa.stack().collect(&mut ctx).unwrap(),
+            dsb.stack().collect(&mut ctx).unwrap()
+        );
+    }
+
+    #[test]
+    fn deque_run_multi_equiv(
+        prefill in proptest::collection::vec(1000..2000u64, 0..5),
+        batch in proptest::collection::vec(proptest::option::of(0..100u64), 1..15),
+        left in any::<bool>(),
+    ) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let da = Deque::create(&mut ctx).unwrap();
+        let db = Deque::create(&mut ctx).unwrap();
+        for &v in &prefill {
+            da.push(&mut ctx, deque::End::Left, v).unwrap();
+            db.push(&mut ctx, deque::End::Left, v).unwrap();
+        }
+        let ops: Vec<DequeOp> = batch
+            .iter()
+            .map(|o| match (o, left) {
+                (Some(v), true) => DequeOp::PushLeft(*v),
+                (None, true) => DequeOp::PopLeft,
+                (Some(v), false) => DequeOp::PushRight(*v),
+                (None, false) => DequeOp::PopRight,
+            })
+            .collect();
+        let dsa = DequeDs::new(da);
+        let dsb = DequeDs::new(db);
+        let mut got = dsa.run_multi(&mut ctx, &ops).unwrap();
+        got.sort_by_key(|&(i, _)| i);
+        let want: Vec<(usize, Option<u64>)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (i, dsb.run_seq(&mut ctx, op).unwrap()))
+            .collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(
+            dsa.deque().collect(&mut ctx).unwrap(),
+            dsb.deque().collect(&mut ctx).unwrap()
+        );
+        prop_assert!(dsa.deque().check_invariants(&mut ctx).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_matches_model(ops in proptest::collection::vec(proptest::option::of(0..1000u64), 1..150)) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let q = Queue::create(&mut ctx).unwrap();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.enqueue(&mut ctx, v).unwrap();
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(q.dequeue(&mut ctx).unwrap(), model.pop_front());
+                }
+            }
+            prop_assert!(q.check_invariants(&mut ctx).unwrap());
+        }
+        prop_assert_eq!(
+            q.collect(&mut ctx).unwrap(),
+            model.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Batch operations are equivalent to their singleton expansions.
+    #[test]
+    fn queue_batches_equiv(
+        prefill in proptest::collection::vec(0..100u64, 0..8),
+        batch in proptest::collection::vec(0..100u64, 0..8),
+        take in 0usize..12,
+    ) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let a = Queue::create(&mut ctx).unwrap();
+        let b = Queue::create(&mut ctx).unwrap();
+        for &v in &prefill {
+            a.enqueue(&mut ctx, v).unwrap();
+            b.enqueue(&mut ctx, v).unwrap();
+        }
+        a.enqueue_n(&mut ctx, &batch).unwrap();
+        for &v in &batch {
+            b.enqueue(&mut ctx, v).unwrap();
+        }
+        let ma = a.dequeue_n(&mut ctx, take).unwrap();
+        let mb: Vec<_> = (0..take).map(|_| b.dequeue(&mut ctx).unwrap()).collect();
+        prop_assert_eq!(ma, mb);
+        prop_assert_eq!(a.collect(&mut ctx).unwrap(), b.collect(&mut ctx).unwrap());
+        prop_assert!(a.check_invariants(&mut ctx).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_list_matches_model(ops in proptest::collection::vec((0u8..3, 0..32u64), 1..150)) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let l = SortedList::create(&mut ctx).unwrap();
+        let mut model = std::collections::BTreeSet::new();
+        for (op, k) in ops {
+            match op {
+                0 => prop_assert_eq!(l.insert(&mut ctx, k).unwrap(), model.insert(k)),
+                1 => prop_assert_eq!(l.remove(&mut ctx, k).unwrap(), model.remove(&k)),
+                _ => prop_assert_eq!(l.contains(&mut ctx, k).unwrap(), model.contains(&k)),
+            }
+            prop_assert!(l.check_invariants(&mut ctx).unwrap());
+        }
+        prop_assert_eq!(l.collect(&mut ctx).unwrap(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// The single-sweep batch application equals sorted-order replay.
+    #[test]
+    fn sorted_list_sweep_equiv(
+        prefill in proptest::collection::btree_set(0..24u64, 0..12),
+        batch in proptest::collection::vec((0u8..3, 0..24u64), 1..14),
+    ) {
+        let (m, rt) = mem();
+        let mut ctx = DirectCtx::new(&m, &rt);
+        let la = SortedList::create(&mut ctx).unwrap();
+        let lb = SortedList::create(&mut ctx).unwrap();
+        for &k in &prefill {
+            la.insert(&mut ctx, k).unwrap();
+            lb.insert(&mut ctx, k).unwrap();
+        }
+        let ops: Vec<ListOp> = batch
+            .iter()
+            .map(|&(op, k)| match op {
+                0 => ListOp::Insert(k),
+                1 => ListOp::Remove(k),
+                _ => ListOp::Contains(k),
+            })
+            .collect();
+        let mut got = la.apply_sweep(&mut ctx, &ops).unwrap();
+        got.sort_by_key(|&(i, _)| i);
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| ops[i].key());
+        let dsb = SortedListDs::new(lb);
+        let mut want: Vec<(usize, bool)> = order
+            .iter()
+            .map(|&i| (i, dsb.run_seq(&mut ctx, &ops[i]).unwrap()))
+            .collect();
+        want.sort_by_key(|&(i, _)| i);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(
+            la.collect(&mut ctx).unwrap(),
+            dsb.list().collect(&mut ctx).unwrap()
+        );
+        prop_assert!(la.check_invariants(&mut ctx).unwrap());
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-operation-class phase policies (§2.1, §2.4, §3.3).
+
+/// How a combiner selects announced operations from its publication array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectPolicy {
+    /// Select only the combiner's own operation. With zero `try_visible`/
+    /// `try_combining` budgets this recovers TLE (§2.4).
+    OwnOnly,
+    /// Select every announced operation in the array (the framework's
+    /// default `shouldHelp` that always returns `true`).
+    All,
+    /// Consult [`DataStructure::should_help`](crate::DataStructure::should_help)
+    /// per announced operation (e.g. "same subtree as mine" for the AVL
+    /// set).
+    ShouldHelp,
+}
+
+/// HTM attempt budgets and combining behaviour for one publication array.
+///
+/// Per the paper, these settings affect only performance, never
+/// correctness; divergent policies for different operation classes of the
+/// same data structure are the main customization mechanism (§3.3 uses a
+/// TLE-like policy for Find/Remove and a full four-phase policy for
+/// Insert).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhasePolicy {
+    /// HTM attempts in the TryPrivate phase (before announcing).
+    pub try_private: u32,
+    /// HTM attempts in the TryVisible phase (after announcing).
+    pub try_visible: u32,
+    /// HTM attempts in the TryCombining phase (as a combiner).
+    pub try_combining: u32,
+    /// Selection policy for combiners on this array.
+    pub select: SelectPolicy,
+    /// The specialized single-combiner variant of §2.4: the combiner holds
+    /// the selection lock for its whole session (not just during
+    /// selection), which keeps owners of announced operations from running
+    /// concurrently with it and removes the need for the `BeingHelped`
+    /// hand-off in exchange for less parallelism.
+    pub specialized: bool,
+}
+
+impl PhasePolicy {
+    /// The paper's default full four-phase setup: 2/3/5 attempts
+    /// (10 total), data-structure-driven selection (§3.3: "we set
+    /// TryPrivateTrials, TryVisibleTrials and TryCombiningTrials to 2, 3
+    /// and 5").
+    pub fn hcf_default() -> Self {
+        PhasePolicy {
+            try_private: 2,
+            try_visible: 3,
+            try_combining: 5,
+            select: SelectPolicy::ShouldHelp,
+            specialized: false,
+        }
+    }
+
+    /// TLE expressed in HCF (§2.4): all attempts private, combiner helps
+    /// only itself (and then applies it under the lock).
+    pub fn tle_like(attempts: u32) -> Self {
+        PhasePolicy {
+            try_private: attempts,
+            try_visible: 0,
+            try_combining: 0,
+            select: SelectPolicy::OwnOnly,
+            specialized: false,
+        }
+    }
+
+    /// Flat combining expressed in HCF (§2.4): no HTM at all, combiner
+    /// helps everyone under the lock.
+    pub fn fc_like() -> Self {
+        PhasePolicy {
+            try_private: 0,
+            try_visible: 0,
+            try_combining: 0,
+            select: SelectPolicy::All,
+            specialized: false,
+        }
+    }
+
+    /// The policy used for highly contended operations (the priority
+    /// queue's `RemoveMin` in §2.1): skip the first two phases' HTM
+    /// attempts and go straight to combining after announcing.
+    pub fn combining_first(try_combining: u32) -> Self {
+        PhasePolicy {
+            try_private: 0,
+            try_visible: 0,
+            try_combining,
+            select: SelectPolicy::All,
+            specialized: false,
+        }
+    }
+
+    /// The naive TLE+FC composition evaluated in §3.3: TLE attempts, then
+    /// announce and combine everything under the lock.
+    pub fn tle_fc_like(attempts: u32) -> Self {
+        PhasePolicy {
+            try_private: attempts,
+            try_visible: 0,
+            try_combining: 0,
+            select: SelectPolicy::All,
+            specialized: false,
+        }
+    }
+
+    /// Total HTM attempt budget across the three speculative phases.
+    pub fn total_attempts(&self) -> u32 {
+        self.try_private + self.try_visible + self.try_combining
+    }
+
+    /// Builder-style toggle for the specialized variant.
+    pub fn specialized(mut self, on: bool) -> Self {
+        self.specialized = on;
+        self
+    }
+
+    /// Builder-style override of the selection policy.
+    pub fn with_select(mut self, select: SelectPolicy) -> Self {
+        self.select = select;
+        self
+    }
+}
+
+impl Default for PhasePolicy {
+    fn default() -> Self {
+        Self::hcf_default()
+    }
+}
+
+impl PhasePolicy {
+    /// Packs the policy into a `u64` (for atomic storage; the engine
+    /// allows policies to be retuned while running — §2.4: "the
+    /// customization may be dynamic").
+    pub fn pack(&self) -> u64 {
+        let select = match self.select {
+            SelectPolicy::OwnOnly => 0u64,
+            SelectPolicy::All => 1,
+            SelectPolicy::ShouldHelp => 2,
+        };
+        u64::from(self.try_private & 0xFF)
+            | (u64::from(self.try_visible & 0xFF) << 8)
+            | (u64::from(self.try_combining & 0xFF) << 16)
+            | (select << 24)
+            | ((self.specialized as u64) << 26)
+    }
+
+    /// Inverse of [`PhasePolicy::pack`].
+    pub fn unpack(raw: u64) -> Self {
+        PhasePolicy {
+            try_private: (raw & 0xFF) as u32,
+            try_visible: ((raw >> 8) & 0xFF) as u32,
+            try_combining: ((raw >> 16) & 0xFF) as u32,
+            select: match (raw >> 24) & 0x3 {
+                0 => SelectPolicy::OwnOnly,
+                1 => SelectPolicy::All,
+                _ => SelectPolicy::ShouldHelp,
+            },
+            specialized: (raw >> 26) & 1 != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = PhasePolicy::hcf_default();
+        assert_eq!((p.try_private, p.try_visible, p.try_combining), (2, 3, 5));
+        assert_eq!(p.total_attempts(), 10);
+        assert_eq!(p.select, SelectPolicy::ShouldHelp);
+        assert!(!p.specialized);
+    }
+
+    #[test]
+    fn tle_preset_has_no_combining() {
+        let p = PhasePolicy::tle_like(10);
+        assert_eq!(p.total_attempts(), 10);
+        assert_eq!(p.try_visible + p.try_combining, 0);
+        assert_eq!(p.select, SelectPolicy::OwnOnly);
+    }
+
+    #[test]
+    fn fc_preset_never_speculates() {
+        let p = PhasePolicy::fc_like();
+        assert_eq!(p.total_attempts(), 0);
+        assert_eq!(p.select, SelectPolicy::All);
+    }
+
+    #[test]
+    fn builders() {
+        let p = PhasePolicy::combining_first(5)
+            .specialized(true)
+            .with_select(SelectPolicy::ShouldHelp);
+        assert!(p.specialized);
+        assert_eq!(p.select, SelectPolicy::ShouldHelp);
+        assert_eq!(p.try_private, 0);
+        assert_eq!(p.try_combining, 5);
+    }
+}
+
+#[cfg(test)]
+mod pack_tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        for p in [
+            PhasePolicy::hcf_default(),
+            PhasePolicy::tle_like(10),
+            PhasePolicy::fc_like(),
+            PhasePolicy::combining_first(7).specialized(true),
+            PhasePolicy::tle_fc_like(3),
+        ] {
+            assert_eq!(PhasePolicy::unpack(p.pack()), p);
+        }
+    }
+
+    #[test]
+    fn budgets_clamped_to_u8() {
+        let p = PhasePolicy {
+            try_private: 255,
+            try_visible: 0,
+            try_combining: 1,
+            select: SelectPolicy::ShouldHelp,
+            specialized: false,
+        };
+        assert_eq!(PhasePolicy::unpack(p.pack()), p);
+    }
+}

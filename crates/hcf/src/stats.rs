@@ -1,0 +1,314 @@
+//! Framework-level execution statistics.
+//!
+//! These power the paper's diagnostic figures: per-phase completion
+//! percentages (Fig. 3), combining degree, and lock-acquisition rates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The phase in which an operation ultimately completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Applied by its owner in the TryPrivate phase.
+    Private = 0,
+    /// Applied by its owner in the TryVisible phase.
+    Visible = 1,
+    /// Applied by a combiner on HTM in the TryCombining phase.
+    Combining = 2,
+    /// Applied by a combiner holding the lock (CombineUnderLock).
+    Lock = 3,
+}
+
+impl Phase {
+    /// All phases, in order.
+    pub const ALL: [Phase; 4] = [Phase::Private, Phase::Visible, Phase::Combining, Phase::Lock];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Private => "TryPrivate",
+            Phase::Visible => "TryVisible",
+            Phase::Combining => "TryCombining",
+            Phase::Lock => "CombineUnderLock",
+        }
+    }
+}
+
+/// Histogram bucket upper bounds (inclusive) for combining degree.
+pub const DEGREE_BUCKETS: [usize; 7] = [1, 2, 4, 8, 16, 32, usize::MAX];
+
+#[derive(Debug, Default)]
+struct ArrayStats {
+    completed: [AtomicU64; 4],
+    sessions: AtomicU64,
+    helped_ops: AtomicU64,
+    degree_hist: [AtomicU64; 7],
+    attempts: AtomicU64,
+    commits: AtomicU64,
+}
+
+/// Monotonic counters kept by every executor.
+#[derive(Debug)]
+pub struct ExecStats {
+    arrays: Vec<ArrayStats>,
+    lock_acqs: AtomicU64,
+    htm_attempts: AtomicU64,
+    htm_commits: AtomicU64,
+    htm_conflicts: AtomicU64,
+    htm_capacity: AtomicU64,
+    htm_explicit: AtomicU64,
+}
+
+impl ExecStats {
+    /// Creates counters for `num_arrays` publication arrays (baselines
+    /// that have no arrays pass 1 and attribute everything to array 0).
+    pub fn new(num_arrays: usize) -> Self {
+        ExecStats {
+            arrays: (0..num_arrays.max(1)).map(|_| ArrayStats::default()).collect(),
+            lock_acqs: AtomicU64::new(0),
+            htm_attempts: AtomicU64::new(0),
+            htm_commits: AtomicU64::new(0),
+            htm_conflicts: AtomicU64::new(0),
+            htm_capacity: AtomicU64::new(0),
+            htm_explicit: AtomicU64::new(0),
+        }
+    }
+
+    /// Records that one operation of array `aid` completed in `phase`.
+    pub fn completed(&self, aid: usize, phase: Phase) {
+        self.arrays[aid].completed[phase as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a combiner session over `degree` selected operations.
+    pub fn session(&self, aid: usize, degree: usize) {
+        let a = &self.arrays[aid];
+        a.sessions.fetch_add(1, Ordering::Relaxed);
+        a.helped_ops.fetch_add(degree as u64, Ordering::Relaxed);
+        let b = DEGREE_BUCKETS.iter().position(|&ub| degree <= ub).unwrap();
+        a.degree_hist[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a data-structure lock acquisition.
+    pub fn lock_acquired(&self) {
+        self.lock_acqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one speculative attempt on array `aid`.
+    pub fn attempt(&self, aid: usize) {
+        self.htm_attempts.fetch_add(1, Ordering::Relaxed);
+        self.arrays[aid].attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a committed speculative attempt on array `aid`.
+    pub fn commit(&self, aid: usize) {
+        self.htm_commits.fetch_add(1, Ordering::Relaxed);
+        self.arrays[aid].commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an aborted speculative attempt by cause.
+    pub fn abort(&self, cause: hcf_tmem::AbortCause) {
+        use hcf_tmem::AbortCause::*;
+        let ctr = match cause {
+            Conflict => &self.htm_conflicts,
+            Capacity | OutOfMemory => &self.htm_capacity,
+            Explicit(_) => &self.htm_explicit,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            arrays: self
+                .arrays
+                .iter()
+                .map(|a| ArrayStatsSnapshot {
+                    completed: std::array::from_fn(|i| a.completed[i].load(Ordering::Relaxed)),
+                    sessions: a.sessions.load(Ordering::Relaxed),
+                    helped_ops: a.helped_ops.load(Ordering::Relaxed),
+                    degree_hist: std::array::from_fn(|i| a.degree_hist[i].load(Ordering::Relaxed)),
+                    attempts: a.attempts.load(Ordering::Relaxed),
+                    commits: a.commits.load(Ordering::Relaxed),
+                })
+                .collect(),
+            lock_acqs: self.lock_acqs.load(Ordering::Relaxed),
+            htm_attempts: self.htm_attempts.load(Ordering::Relaxed),
+            htm_commits: self.htm_commits.load(Ordering::Relaxed),
+            htm_conflicts: self.htm_conflicts.load(Ordering::Relaxed),
+            htm_capacity: self.htm_capacity.load(Ordering::Relaxed),
+            htm_explicit: self.htm_explicit.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-array snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArrayStatsSnapshot {
+    /// Operations completed per [`Phase`] (indexed by `Phase as usize`).
+    pub completed: [u64; 4],
+    /// Combiner sessions.
+    pub sessions: u64,
+    /// Total operations selected across all sessions.
+    pub helped_ops: u64,
+    /// Session-degree histogram over [`DEGREE_BUCKETS`].
+    pub degree_hist: [u64; 7],
+    /// Speculative attempts on this array.
+    pub attempts: u64,
+    /// Committed speculative attempts on this array.
+    pub commits: u64,
+}
+
+impl ArrayStatsSnapshot {
+    /// Total completed operations in this array.
+    pub fn total(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Fraction of this array's operations that completed in `phase`.
+    pub fn phase_fraction(&self, phase: Phase) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.completed[phase as usize] as f64 / t as f64
+        }
+    }
+
+    /// Speculative abort rate on this array, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            (self.attempts - self.commits) as f64 / self.attempts as f64
+        }
+    }
+
+    /// Average combining degree (operations per combiner session).
+    pub fn avg_degree(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.helped_ops as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// Point-in-time copy of [`ExecStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStatsSnapshot {
+    /// One entry per publication array.
+    pub arrays: Vec<ArrayStatsSnapshot>,
+    /// Data-structure lock acquisitions.
+    pub lock_acqs: u64,
+    /// Speculative attempts started.
+    pub htm_attempts: u64,
+    /// Speculative attempts committed.
+    pub htm_commits: u64,
+    /// Aborts: data conflicts.
+    pub htm_conflicts: u64,
+    /// Aborts: capacity (incl. out-of-memory).
+    pub htm_capacity: u64,
+    /// Aborts: explicit (lock subscription, status changes).
+    pub htm_explicit: u64,
+}
+
+impl ExecStatsSnapshot {
+    /// Total completed operations across all arrays.
+    pub fn total_ops(&self) -> u64 {
+        self.arrays.iter().map(|a| a.total()).sum()
+    }
+
+    /// Aggregated per-phase completions across arrays.
+    pub fn completed_by_phase(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for a in &self.arrays {
+            for (o, c) in out.iter_mut().zip(a.completed.iter()) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Average combining degree across all arrays.
+    pub fn avg_degree(&self) -> f64 {
+        let sessions: u64 = self.arrays.iter().map(|a| a.sessions).sum();
+        let helped: u64 = self.arrays.iter().map(|a| a.helped_ops).sum();
+        if sessions == 0 {
+            0.0
+        } else {
+            helped as f64 / sessions as f64
+        }
+    }
+
+    /// Speculative abort rate in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        if self.htm_attempts == 0 {
+            0.0
+        } else {
+            (self.htm_attempts - self.htm_commits) as f64 / self.htm_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accounting_sums_to_total() {
+        let s = ExecStats::new(2);
+        s.completed(0, Phase::Private);
+        s.completed(0, Phase::Lock);
+        s.completed(1, Phase::Combining);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_ops(), 3);
+        assert_eq!(snap.completed_by_phase(), [1, 0, 1, 1]);
+        assert_eq!(snap.arrays[0].total(), 2);
+        assert!((snap.arrays[0].phase_fraction(Phase::Private) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combining_degree() {
+        let s = ExecStats::new(1);
+        s.session(0, 1);
+        s.session(0, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.arrays[0].sessions, 2);
+        assert!((snap.arrays[0].avg_degree() - 4.0).abs() < 1e-12);
+        // degree 1 -> bucket 0; degree 7 -> bucket <=8 (index 3)
+        assert_eq!(snap.arrays[0].degree_hist[0], 1);
+        assert_eq!(snap.arrays[0].degree_hist[3], 1);
+    }
+
+    #[test]
+    fn abort_rate() {
+        let s = ExecStats::new(1);
+        for _ in 0..4 {
+            s.attempt(0);
+        }
+        s.commit(0);
+        s.abort(hcf_tmem::AbortCause::Conflict);
+        s.abort(hcf_tmem::AbortCause::Capacity);
+        s.abort(hcf_tmem::AbortCause::Explicit(1));
+        let snap = s.snapshot();
+        assert!((snap.abort_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.htm_conflicts, 1);
+        assert_eq!(snap.htm_capacity, 1);
+        assert_eq!(snap.htm_explicit, 1);
+    }
+
+    #[test]
+    fn phase_names() {
+        assert_eq!(Phase::ALL.len(), 4);
+        for p in Phase::ALL {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_arrays_clamped_to_one() {
+        let s = ExecStats::new(0);
+        s.completed(0, Phase::Private);
+        assert_eq!(s.snapshot().total_ops(), 1);
+    }
+}

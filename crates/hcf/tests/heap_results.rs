@@ -1,0 +1,79 @@
+//! Results with heap payloads: the owner/combiner result hand-off must
+//! move arbitrary `Clone` data (not just words) exactly once.
+
+use std::sync::Arc;
+
+use hcf_core::{DataStructure, HcfConfig, HcfEngine, PhasePolicy, SelectPolicy};
+use hcf_tmem::{Addr, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
+
+/// Appends to a shared log; returns a snapshot of the last `window`
+/// entries (a `Vec`, exercising non-trivial result movement).
+struct WindowLog {
+    header: Addr,
+    slots: Addr,
+    capacity: u64,
+    window: u64,
+}
+
+impl DataStructure for WindowLog {
+    type Op = u64;
+    type Res = Vec<u64>;
+
+    fn run_seq(&self, ctx: &mut dyn MemCtx, op: &u64) -> TxResult<Vec<u64>> {
+        let n = ctx.read(self.header)?;
+        assert!(n < self.capacity);
+        ctx.write(self.slots + n, *op)?;
+        ctx.write(self.header, n + 1)?;
+        let lo = (n + 1).saturating_sub(self.window);
+        let mut out = Vec::new();
+        for i in lo..=n {
+            out.push(ctx.read(self.slots + i)?);
+        }
+        Ok(out)
+    }
+}
+
+#[test]
+fn vec_results_delivered_exactly_once() {
+    let mem = Arc::new(TMem::new(TMemConfig::default().with_words(1 << 18)));
+    let rt = Arc::new(RealRuntime::new());
+    let threads = 5u64;
+    let per = 200u64;
+    let ds = {
+        let mut ctx = hcf_tmem::DirectCtx::new(&mem, rt.as_ref());
+        Arc::new(WindowLog {
+            header: ctx.alloc_line().unwrap(),
+            slots: ctx.alloc((threads * per + 1) as usize).unwrap(),
+            capacity: threads * per + 1,
+            window: 3,
+        })
+    };
+    // Combining-first: most results flow owner ← combiner.
+    let cfg = HcfConfig::new(threads as usize + 1).with_default_policy(PhasePolicy {
+        try_private: 1,
+        try_visible: 0,
+        try_combining: 3,
+        select: SelectPolicy::All,
+        specialized: false,
+    });
+    let engine = Arc::new(HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let engine = engine.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    let token = t * per + i;
+                    let snap = engine.execute(token);
+                    // The window must be non-empty, end with my token,
+                    // and be a contiguous slice of the log.
+                    assert!(!snap.is_empty() && snap.len() <= 3);
+                    assert_eq!(*snap.last().unwrap(), token);
+                }
+            });
+        }
+    });
+    // Total entries = total ops; each thread's tokens appear once.
+    let final_snapshot = engine.execute(u64::MAX - 1);
+    assert_eq!(*final_snapshot.last().unwrap(), u64::MAX - 1);
+    assert_eq!(engine.stats().total_ops(), threads * per + 1);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the engine: *any* phase-policy configuration
+//! must preserve correctness (the paper's claim that configuration
+//! affects only performance), both sequentially and under real threads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hcf_core::{DataStructure, HcfConfig, HcfEngine, PhasePolicy, SelectPolicy};
+use hcf_tmem::{Addr, DirectCtx, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
+
+/// A register file with per-op routing across two arrays.
+struct Regs {
+    base: Addr,
+    n: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u64, u64),
+    Read(u64),
+}
+
+impl DataStructure for Regs {
+    type Op = Op;
+    type Res = u64;
+
+    fn num_arrays(&self) -> usize {
+        2
+    }
+
+    fn array_of(&self, op: &Op) -> usize {
+        (match op {
+            Op::Add(s, _) | Op::Read(s) => *s as usize,
+        }) % 2
+    }
+
+    fn run_seq(&self, ctx: &mut dyn MemCtx, op: &Op) -> TxResult<u64> {
+        match *op {
+            Op::Add(s, d) => {
+                let a = self.base + (s % self.n);
+                let v = ctx.read(a)?;
+                ctx.write(a, v.wrapping_add(d))?;
+                Ok(v.wrapping_add(d))
+            }
+            Op::Read(s) => ctx.read(self.base + (s % self.n)),
+        }
+    }
+}
+
+fn policy_strategy() -> impl Strategy<Value = PhasePolicy> {
+    (
+        0u32..4,
+        0u32..4,
+        0u32..4,
+        prop_oneof![
+            Just(SelectPolicy::OwnOnly),
+            Just(SelectPolicy::All),
+            Just(SelectPolicy::ShouldHelp)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(p, v, c, select, specialized)| PhasePolicy {
+            try_private: p,
+            try_visible: v,
+            try_combining: c,
+            select,
+            specialized,
+        })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4u64, 1..100u64).prop_map(|(s, d)| Op::Add(s, d)),
+        (0..4u64).prop_map(Op::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequential execution through any policy equals direct execution.
+    #[test]
+    fn any_policy_is_sequentially_correct(
+        pol0 in policy_strategy(),
+        pol1 in policy_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mem = Arc::new(TMem::new(TMemConfig::small_word_granular()));
+        let rt = Arc::new(RealRuntime::new());
+        let base = mem.alloc_direct(4).unwrap();
+        let ds = Arc::new(Regs { base, n: 4 });
+        let cfg = HcfConfig::new(2).with_policy(0, pol0).with_policy(1, pol1);
+        let engine = HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap();
+
+        let mut model = [0u64; 4];
+        for op in &ops {
+            let want = match *op {
+                Op::Add(s, d) => {
+                    let i = (s % 4) as usize;
+                    model[i] = model[i].wrapping_add(d);
+                    model[i]
+                }
+                Op::Read(s) => model[(s % 4) as usize],
+            };
+            prop_assert_eq!(engine.execute(op.clone()), want);
+        }
+        prop_assert_eq!(engine.stats().total_ops(), ops.len() as u64);
+    }
+
+    /// Concurrent execution through any policy keeps exact counts.
+    #[test]
+    fn any_policy_is_concurrently_exact(
+        pol0 in policy_strategy(),
+        pol1 in policy_strategy(),
+    ) {
+        let threads = 4u64;
+        let per = 60u64;
+        let mem = Arc::new(TMem::new(TMemConfig::small_word_granular()));
+        let rt = Arc::new(RealRuntime::new());
+        let base = mem.alloc_direct(4).unwrap();
+        let ds = Arc::new(Regs { base, n: 4 });
+        let cfg = HcfConfig::new(threads as usize)
+            .with_policy(0, pol0)
+            .with_policy(1, pol1);
+        let engine = Arc::new(HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap());
+
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        engine.execute(Op::Add((t + i) % 4, 1));
+                    }
+                });
+            }
+        });
+        let mut ctx = DirectCtx::new(&mem, rt.as_ref());
+        let total: u64 = (0..4).map(|i| ctx.read(base + i).unwrap()).sum();
+        prop_assert_eq!(total, threads * per);
+        prop_assert_eq!(engine.stats().total_ops(), threads * per);
+    }
+}

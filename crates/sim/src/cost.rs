@@ -1,0 +1,111 @@
+//! The virtual-cycle cost model.
+//!
+//! Costs are rough Haswell-era figures in CPU cycles. Their absolute
+//! values are not the point — what matters for reproducing the paper's
+//! figures is the *ordering* (hit ≪ local miss ≪ remote miss; transaction
+//! overheads comparable to a few misses) and the contention feedback they
+//! create (aborted work is wasted virtual time, lock hand-offs cost
+//! coherence misses, hyperthread pairs share a core).
+
+/// Cycle costs charged by the lockstep runtime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Access to a line this thread already has cached.
+    pub l1_hit: u64,
+    /// First-ever access to a line (memory-resident, no owner).
+    pub cold_miss: u64,
+    /// Access to a line last written by another thread on the same socket.
+    pub local_miss: u64,
+    /// Access to a line last written by a thread on another socket.
+    pub remote_miss: u64,
+    /// Starting a hardware transaction.
+    pub tx_begin: u64,
+    /// Committing a hardware transaction.
+    pub tx_commit: u64,
+    /// An abort (dumping the speculative state, restoring registers).
+    pub tx_abort: u64,
+    /// One spin-loop pause (`yield_now`).
+    pub yield_quantum: u64,
+    /// Fixed per-operation overhead outside the data structure (argument
+    /// marshalling, workload generation).
+    pub op_overhead: u64,
+    /// Numerator/denominator of the slowdown applied to a thread whose
+    /// core is shared with another active hyperthread (3/2 ≈ the paper's
+    /// observed scaling knee past 18 threads).
+    pub smt_factor: (u64, u64),
+    /// Accumulate this many cycles locally before synchronizing with the
+    /// scheduler. Larger values run faster but coarsen the interleaving
+    /// granularity (1 = exact lockstep per access).
+    pub sync_quantum: u64,
+    /// Cache-capacity decay: after this many total memory accesses, every
+    /// line's reader/owner set is considered evicted and the next access
+    /// misses again. Deterministic stand-in for finite cache capacity —
+    /// without it a warmed-up thread never misses and critical sections
+    /// become unrealistically cheap.
+    pub cache_epoch: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            l1_hit: 4,
+            cold_miss: 60,
+            local_miss: 45,
+            remote_miss: 220,
+            tx_begin: 45,
+            tx_commit: 55,
+            tx_abort: 150,
+            yield_quantum: 60,
+            op_overhead: 40,
+            smt_factor: (3, 2),
+            sync_quantum: 128,
+            cache_epoch: 32_768,
+        }
+    }
+}
+
+impl CostModel {
+    /// Exact per-access lockstep (tests); slower but maximally precise.
+    pub fn exact() -> Self {
+        CostModel {
+            sync_quantum: 1,
+            ..CostModel::default()
+        }
+    }
+
+    /// Applies the SMT slowdown to `cycles` when `shared` is true.
+    #[inline]
+    pub fn smt_adjust(&self, cycles: u64, shared: bool) -> u64 {
+        if shared {
+            cycles * self.smt_factor.0 / self.smt_factor.1
+        } else {
+            cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_orderings() {
+        let c = CostModel::default();
+        assert!(c.l1_hit < c.local_miss);
+        assert!(c.local_miss < c.remote_miss);
+        assert!(c.cold_miss < c.remote_miss);
+        assert!(c.tx_abort > c.tx_commit);
+    }
+
+    #[test]
+    fn smt_adjust() {
+        let c = CostModel::default();
+        assert_eq!(c.smt_adjust(100, false), 100);
+        assert_eq!(c.smt_adjust(100, true), 150);
+    }
+
+    #[test]
+    fn exact_syncs_every_cycle() {
+        assert_eq!(CostModel::exact().sync_quantum, 1);
+    }
+}

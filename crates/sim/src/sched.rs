@@ -1,0 +1,242 @@
+//! The lockstep scheduler: one runnable thread at a time, minimum virtual
+//! clock first.
+//!
+//! Determinism argument: all participating threads register before any of
+//! them runs user code; afterwards, exactly one thread executes between
+//! scheduler synchronization points, and the scheduler always hands the
+//! turn to the unique runnable thread with the smallest `(time, tid)`.
+//! Given deterministic per-thread work (seeded RNGs, no wall-clock reads),
+//! the whole interleaving — and therefore every STM conflict — is a pure
+//! function of the inputs.
+
+use std::fmt;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    NotStarted,
+    Runnable,
+    Finished,
+}
+
+struct Inner {
+    times: Vec<u64>,
+    state: Vec<TState>,
+    started: usize,
+}
+
+impl Inner {
+    /// The runnable thread with minimal `(time, tid)`, if any.
+    fn min_runnable(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for t in 0..self.times.len() {
+            if self.state[t] == TState::Runnable
+                && best.is_none_or(|b| self.times[t] < self.times[b])
+            {
+                best = Some(t);
+            }
+        }
+        best
+    }
+
+    fn all_started(&self) -> bool {
+        self.started == self.times.len()
+    }
+}
+
+/// Coordinates `n` simulated threads in deterministic lockstep.
+pub struct LockstepScheduler {
+    inner: Mutex<Inner>,
+    turn: Vec<Condvar>,
+}
+
+impl LockstepScheduler {
+    /// Creates a scheduler for exactly `n` threads; none may run user code
+    /// until all `n` have called [`LockstepScheduler::register`].
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one thread");
+        LockstepScheduler {
+            inner: Mutex::new(Inner {
+                times: vec![0; n],
+                state: vec![TState::NotStarted; n],
+                started: 0,
+            }),
+            turn: (0..n).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn n_threads(&self) -> usize {
+        self.turn.len()
+    }
+
+    /// Enrolls the calling thread as `tid` and blocks until the
+    /// simulation starts *and* it holds the turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double registration.
+    pub fn register(&self, tid: usize) {
+        let mut g = self.inner.lock();
+        assert_eq!(g.state[tid], TState::NotStarted, "double register of {tid}");
+        g.state[tid] = TState::Runnable;
+        g.started += 1;
+        if g.all_started() {
+            if let Some(m) = g.min_runnable() {
+                self.turn[m].notify_one();
+            }
+        }
+        while !(g.all_started() && g.min_runnable() == Some(tid)) {
+            self.turn[tid].wait(&mut g);
+        }
+    }
+
+    /// Charges `cycles` to `tid` and, if another thread now holds the
+    /// minimum clock, parks until the turn comes back.
+    pub fn advance(&self, tid: usize, cycles: u64) {
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.state[tid], TState::Runnable);
+        g.times[tid] += cycles;
+        loop {
+            match g.min_runnable() {
+                Some(m) if m == tid => return,
+                Some(m) => {
+                    self.turn[m].notify_one();
+                    self.turn[tid].wait(&mut g);
+                }
+                None => unreachable!("caller is runnable"),
+            }
+        }
+    }
+
+    /// Marks `tid` finished and hands the turn to the next thread.
+    pub fn finish(&self, tid: usize) {
+        let mut g = self.inner.lock();
+        debug_assert_eq!(g.state[tid], TState::Runnable);
+        g.state[tid] = TState::Finished;
+        if let Some(m) = g.min_runnable() {
+            self.turn[m].notify_one();
+        }
+    }
+
+    /// `tid`'s virtual clock.
+    pub fn time_of(&self, tid: usize) -> u64 {
+        self.inner.lock().times[tid]
+    }
+
+    /// The maximum virtual clock across all threads (the run's elapsed
+    /// virtual time once everyone finished).
+    pub fn max_time(&self) -> u64 {
+        self.inner.lock().times.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for LockstepScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("LockstepScheduler")
+            .field("threads", &g.times.len())
+            .field("started", &g.started)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Each thread appends its id to a shared trace at every step; the
+    /// lockstep order must interleave them deterministically by time.
+    fn run_trace(n: usize, steps: usize, costs: &[u64]) -> Vec<usize> {
+        let sched = Arc::new(LockstepScheduler::new(n));
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for tid in 0..n {
+            let sched = sched.clone();
+            let trace = trace.clone();
+            let cost = costs[tid];
+            handles.push(std::thread::spawn(move || {
+                sched.register(tid);
+                for _ in 0..steps {
+                    trace.lock().push(tid);
+                    sched.advance(tid, cost);
+                }
+                sched.finish(tid);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(trace).unwrap().into_inner()
+    }
+
+    #[test]
+    fn equal_costs_round_robin() {
+        let trace = run_trace(3, 4, &[10, 10, 10]);
+        assert_eq!(trace, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn cheaper_threads_run_more_often() {
+        let trace = run_trace(2, 6, &[10, 20]);
+        // t0 at times 0,10,20,30,40,50 ; t1 at 0,20,40,60,...
+        assert_eq!(&trace[..9], &[0, 1, 0, 0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_trace(4, 50, &[7, 11, 13, 17]);
+        let b = run_trace(4, 50, &[7, 11, 13, 17]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let trace = run_trace(1, 100, &[5]);
+        assert_eq!(trace.len(), 100);
+    }
+
+    #[test]
+    fn finish_hands_over_turn() {
+        let sched = Arc::new(LockstepScheduler::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for tid in 0..2 {
+            let sched = sched.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || {
+                sched.register(tid);
+                if tid == 0 {
+                    sched.finish(tid); // finish immediately
+                } else {
+                    for _ in 0..10 {
+                        sched.advance(tid, 1);
+                    }
+                    sched.finish(tid);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        assert_eq!(sched.max_time(), 10);
+    }
+
+    #[test]
+    fn times_are_tracked() {
+        let sched = LockstepScheduler::new(1);
+        sched.register(0);
+        sched.advance(0, 42);
+        assert_eq!(sched.time_of(0), 42);
+        sched.advance(0, 8);
+        assert_eq!(sched.time_of(0), 50);
+        sched.finish(0);
+        assert_eq!(sched.max_time(), 50);
+    }
+}

@@ -1,0 +1,147 @@
+//! The modeled machine topology and thread pinning.
+
+/// A socket/core/SMT topology with the paper's pinning rule: threads fill
+/// one socket's physical cores first, then that socket's hyperthreads,
+//  then move to the next socket (§3.2: "thread i and i + X were sharing
+/// the same core (where X = 18 is the number of cores per socket)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core.
+    pub smt: usize,
+}
+
+/// Where a software thread is pinned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuLoc {
+    /// Socket index.
+    pub socket: usize,
+    /// Core index within the socket.
+    pub core: usize,
+    /// Hardware-thread index within the core.
+    pub smt: usize,
+}
+
+impl Topology {
+    /// The paper's Oracle Server X5-2: dual-socket Xeon E5-2699 v3,
+    /// 18 hyper-threaded cores per socket at 2.3 GHz.
+    pub fn x5_2() -> Self {
+        Topology {
+            sockets: 2,
+            cores_per_socket: 18,
+            smt: 2,
+        }
+    }
+
+    /// A single socket of the X5-2 (the configuration most figures use).
+    pub fn x5_2_single_socket() -> Self {
+        Topology {
+            sockets: 1,
+            cores_per_socket: 18,
+            smt: 2,
+        }
+    }
+
+    /// Total logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.sockets * self.cores_per_socket * self.smt
+    }
+
+    /// Pinning of thread `tid` per the paper's rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` exceeds the logical CPU count.
+    pub fn cpu_of(&self, tid: usize) -> CpuLoc {
+        assert!(
+            tid < self.logical_cpus(),
+            "thread {tid} exceeds {} logical CPUs",
+            self.logical_cpus()
+        );
+        let per_socket = self.cores_per_socket * self.smt;
+        let socket = tid / per_socket;
+        let within = tid % per_socket;
+        CpuLoc {
+            socket,
+            core: within % self.cores_per_socket,
+            smt: within / self.cores_per_socket,
+        }
+    }
+
+    /// The socket thread `tid` is pinned to.
+    pub fn socket_of(&self, tid: usize) -> usize {
+        self.cpu_of(tid).socket
+    }
+
+    /// The other hardware threads sharing `tid`'s core.
+    pub fn siblings_of(&self, tid: usize) -> Vec<usize> {
+        let loc = self.cpu_of(tid);
+        let per_socket = self.cores_per_socket * self.smt;
+        (0..self.smt)
+            .map(|s| loc.socket * per_socket + s * self.cores_per_socket + loc.core)
+            .filter(|&t| t != tid)
+            .collect()
+    }
+
+    /// Whether `tid` shares its core with any thread in `0..n_threads`
+    /// (static over a run: the paper pins a fixed thread set).
+    pub fn shares_core(&self, tid: usize, n_threads: usize) -> bool {
+        self.siblings_of(tid).iter().any(|&s| s < n_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x5_2_dimensions() {
+        let t = Topology::x5_2();
+        assert_eq!(t.logical_cpus(), 72);
+        assert_eq!(Topology::x5_2_single_socket().logical_cpus(), 36);
+    }
+
+    #[test]
+    fn paper_pinning_rule() {
+        // Thread i and i+18 share a core; first 36 threads on socket 0.
+        let t = Topology::x5_2();
+        for i in 0..18 {
+            let a = t.cpu_of(i);
+            let b = t.cpu_of(i + 18);
+            assert_eq!(a.socket, 0);
+            assert_eq!(b.socket, 0);
+            assert_eq!(a.core, b.core);
+            assert_ne!(a.smt, b.smt);
+        }
+        assert_eq!(t.cpu_of(36).socket, 1);
+        assert_eq!(t.cpu_of(36).core, 0);
+        assert_eq!(t.cpu_of(71).socket, 1);
+        assert_eq!(t.cpu_of(71).smt, 1);
+    }
+
+    #[test]
+    fn siblings() {
+        let t = Topology::x5_2();
+        assert_eq!(t.siblings_of(0), vec![18]);
+        assert_eq!(t.siblings_of(18), vec![0]);
+        assert_eq!(t.siblings_of(36), vec![54]);
+    }
+
+    #[test]
+    fn shares_core_is_static_per_thread_count() {
+        let t = Topology::x5_2();
+        assert!(!t.shares_core(0, 18), "18 threads: no core sharing");
+        assert!(t.shares_core(0, 19), "19 threads: thread 18 joins core 0");
+        assert!(!t.shares_core(17, 35));
+        assert!(t.shares_core(17, 36));
+    }
+
+    #[test]
+    #[should_panic(expected = "logical CPUs")]
+    fn overflow_panics() {
+        Topology::x5_2().cpu_of(72);
+    }
+}

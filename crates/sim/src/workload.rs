@@ -1,0 +1,297 @@
+//! Workload generators for the paper's experiments.
+
+use rand::prelude::*;
+
+use hcf_ds::{DequeOp, MapOp, PqOp, SetOp, StackOp};
+
+/// A Zipfian sampler over `0..n` with skew `theta` in `[0, 1)`: weight of
+/// rank `i` is `1 / (i + 1)^theta`, so lower keys are hotter (the paper's
+/// §3.4 parameterization; `theta = 0` is uniform).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler (O(n) precomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 0` and `0 <= theta < 1`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// The §3.3 hash-table workload: `find_pct`% Find, the rest split evenly
+/// between Insert and Remove, keys uniform in `0..key_range`.
+#[derive(Clone, Debug)]
+pub struct MapWorkload {
+    /// Key range (also the prefill universe).
+    pub key_range: u64,
+    /// Percentage of Find operations (0–100).
+    pub find_pct: u32,
+}
+
+impl MapWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> MapOp {
+        let k = rng.random_range(0..self.key_range);
+        let roll = rng.random_range(0..100);
+        if roll < self.find_pct {
+            MapOp::Find(k)
+        } else if roll % 2 == 0 {
+            MapOp::Insert(k, rng.random())
+        } else {
+            MapOp::Remove(k)
+        }
+    }
+}
+
+/// The §3.4 AVL-set workload: `find_pct`% Contains, rest split evenly
+/// between Insert and Remove, keys Zipfian.
+#[derive(Clone, Debug)]
+pub struct SetWorkload {
+    zipf: Zipf,
+    /// Percentage of Contains operations (0–100).
+    pub find_pct: u32,
+}
+
+impl SetWorkload {
+    /// Builds the workload over `0..key_range` with Zipf skew `theta`.
+    pub fn new(key_range: u64, theta: f64, find_pct: u32) -> Self {
+        SetWorkload {
+            zipf: Zipf::new(key_range, theta),
+            find_pct,
+        }
+    }
+
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> SetOp {
+        let k = self.zipf.sample(rng);
+        let roll = rng.random_range(0..100);
+        if roll < self.find_pct {
+            SetOp::Contains(k)
+        } else if roll % 2 == 0 {
+            SetOp::Insert(k)
+        } else {
+            SetOp::Remove(k)
+        }
+    }
+}
+
+/// The §1 priority-queue workload: `insert_pct`% Insert (uniform keys),
+/// rest RemoveMin.
+#[derive(Clone, Debug)]
+pub struct PqWorkload {
+    /// Key range for inserts.
+    pub key_range: u64,
+    /// Percentage of Insert operations (0–100).
+    pub insert_pct: u32,
+}
+
+impl PqWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> PqOp {
+        if rng.random_range(0..100) < self.insert_pct {
+            PqOp::Insert(rng.random_range(0..self.key_range), rng.random())
+        } else {
+            PqOp::RemoveMin
+        }
+    }
+}
+
+/// A stack workload: `push_pct`% Push.
+#[derive(Clone, Debug)]
+pub struct StackWorkload {
+    /// Percentage of Push operations (0–100).
+    pub push_pct: u32,
+}
+
+impl StackWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> StackOp {
+        if rng.random_range(0..100) < self.push_pct {
+            StackOp::Push(rng.random())
+        } else {
+            StackOp::Pop
+        }
+    }
+}
+
+/// A deque workload: uniform over the four operations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DequeWorkload;
+
+impl DequeWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> DequeOp {
+        match rng.random_range(0..4) {
+            0 => DequeOp::PushLeft(rng.random()),
+            1 => DequeOp::PopLeft,
+            2 => DequeOp::PushRight(rng.random()),
+            _ => DequeOp::PopRight,
+        }
+    }
+}
+
+/// A FIFO-queue workload: `enqueue_pct`% Enqueue.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueWorkload {
+    /// Percentage of Enqueue operations (0–100).
+    pub enqueue_pct: u32,
+}
+
+impl QueueWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> hcf_ds::QueueOp {
+        if rng.random_range(0..100) < self.enqueue_pct {
+            hcf_ds::QueueOp::Enqueue(rng.random())
+        } else {
+            hcf_ds::QueueOp::Dequeue
+        }
+    }
+}
+
+/// A sorted-list workload: `find_pct`% Contains, rest split evenly,
+/// uniform keys.
+#[derive(Clone, Copy, Debug)]
+pub struct ListWorkload {
+    /// Key range.
+    pub key_range: u64,
+    /// Percentage of Contains operations (0–100).
+    pub find_pct: u32,
+}
+
+impl ListWorkload {
+    /// Draws one operation.
+    pub fn op(&self, rng: &mut impl Rng) -> hcf_ds::ListOp {
+        let k = rng.random_range(0..self.key_range);
+        let roll = rng.random_range(0..100);
+        if roll < self.find_pct {
+            hcf_ds::ListOp::Contains(k)
+        } else if roll % 2 == 0 {
+            hcf_ds::ListOp::Insert(k)
+        } else {
+            hcf_ds::ListOp::Remove(k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_favors_low_keys() {
+        let z = Zipf::new(1024, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 32 {
+                low += 1;
+            }
+        }
+        // With theta=0.9 over 1024 keys, the 32 hottest keys draw a large
+        // fraction of accesses.
+        assert!(low > 3000, "only {low}/10000 in the hot set");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn map_workload_respects_mix() {
+        let w = MapWorkload {
+            key_range: 100,
+            find_pct: 80,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut finds = 0;
+        let mut inserts = 0;
+        let mut removes = 0;
+        for _ in 0..10_000 {
+            match w.op(&mut rng) {
+                MapOp::Find(_) => finds += 1,
+                MapOp::Insert(..) => inserts += 1,
+                MapOp::Remove(_) => removes += 1,
+            }
+        }
+        assert!((7600..8400).contains(&finds));
+        let diff = (inserts as i64 - removes as i64).abs();
+        assert!(diff < 400, "updates not even: {inserts} vs {removes}");
+    }
+
+    #[test]
+    fn set_workload_zero_find_pct_has_no_contains() {
+        let w = SetWorkload::new(64, 0.9, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(!matches!(w.op(&mut rng), SetOp::Contains(_)));
+        }
+    }
+
+    #[test]
+    fn pq_workload_mix() {
+        let w = PqWorkload {
+            key_range: 1000,
+            insert_pct: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let inserts = (0..10_000)
+            .filter(|_| matches!(w.op(&mut rng), PqOp::Insert(..)))
+            .count();
+        assert!((4500..5500).contains(&inserts));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let w = MapWorkload {
+            key_range: 50,
+            find_pct: 40,
+        };
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| w.op(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -1,0 +1,117 @@
+//! Word addresses in the transactional memory.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// The index of a 64-bit word in a [`TMem`](crate::TMem) instance.
+///
+/// Addresses are plain word indices; the memory groups consecutive words
+/// into cache lines for conflict-detection purposes (see
+/// [`TMemConfig::words_per_line_log2`](crate::TMemConfig)). Address `0` is
+/// reserved as a null value so that data structures can store "no node" in
+/// a word.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The reserved null address. [`TMem`](crate::TMem) never hands it out.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns `true` if this is the reserved null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw word index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Addr(NULL)")
+        } else {
+            write!(f, "Addr({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    /// Offsets the address by `rhs` words. Used for field access within a
+    /// node layout (`node + 2` is the third word of the node).
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(1).is_null());
+        assert_eq!(Addr::NULL.index(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr(10);
+        assert_eq!(a + 5, Addr(15));
+        assert_eq!(a - 3, Addr(7));
+        assert_eq!((a + 0).index(), 10);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: Addr = 42u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Addr::NULL), "Addr(NULL)");
+        assert_eq!(format!("{:?}", Addr(7)), "Addr(7)");
+        assert_eq!(format!("{}", Addr(7)), "Addr(7)");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Addr(1) < Addr(2));
+        assert_eq!(Addr(5).max(Addr(3)), Addr(5));
+    }
+}

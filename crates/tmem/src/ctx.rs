@@ -1,0 +1,364 @@
+//! Memory-access contexts: the same sequential code runs transactionally
+//! or directly.
+//!
+//! The HCF paper's key usability claim is that the programmer writes
+//! *sequential* data-structure code once, and the framework runs it either
+//! inside a hardware transaction or under the fallback lock. [`MemCtx`] is
+//! the Rust embodiment: data-structure operations are written against this
+//! object-safe trait, and the framework supplies a [`TxCtx`] (speculative
+//! phases) or a [`DirectCtx`] (lock-holding phases).
+
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::error::{AbortCause, TxResult};
+use crate::lock::ElidableLock;
+use crate::mem::TMem;
+use crate::runtime::Runtime;
+use crate::txn::Txn;
+
+/// Object-safe memory access used by sequential data-structure code.
+///
+/// All methods return `TxResult` so that code can propagate aborts with
+/// `?`; the direct implementation never fails (other than allocation
+/// exhaustion).
+pub trait MemCtx {
+    /// Loads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Transactional contexts abort on conflicts and capacity overflow.
+    fn read(&mut self, addr: Addr) -> TxResult<u64>;
+
+    /// Stores `value` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Transactional contexts abort on capacity overflow.
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()>;
+
+    /// Allocates a zeroed block of `words` words.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::OutOfMemory`] when the pool is exhausted.
+    fn alloc(&mut self, words: usize) -> TxResult<Addr>;
+
+    /// Frees a block. Transactional contexts defer the free to commit.
+    fn free(&mut self, addr: Addr, words: usize);
+
+    /// Allocates one zeroed word on a dedicated cache line (padding for
+    /// contended words, e.g. the two ends of a deque — without it the
+    /// line-granularity conflict detection would serialize logically
+    /// independent operations through false sharing).
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::OutOfMemory`] when the pool is exhausted.
+    fn alloc_line(&mut self) -> TxResult<Addr>;
+
+    /// Subscribes to `lock`: aborts (with
+    /// [`AbortCause::LOCK_HELD`](AbortCause::LOCK_HELD)) if the lock is
+    /// held, and otherwise guarantees the transaction cannot commit once
+    /// the lock is acquired. A no-op in direct contexts (the caller holds
+    /// the lock).
+    ///
+    /// # Errors
+    ///
+    /// `Explicit(LOCK_HELD)` when the lock is currently held.
+    fn subscribe(&mut self, lock: &ElidableLock) -> TxResult<()>;
+
+    /// Explicitly aborts a transactional context with `code`; in a direct
+    /// context this is a programming error and panics.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err(Explicit(code))` in transactional contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when invoked on a direct context.
+    fn explicit_abort(&mut self, code: u8) -> TxResult<()>;
+
+    /// `true` when running speculatively (inside a transaction).
+    fn is_transactional(&self) -> bool;
+}
+
+/// Transactional implementation of [`MemCtx`], wrapping a [`Txn`].
+pub struct TxCtx<'a, 'm> {
+    tx: &'a mut Txn<'m>,
+}
+
+impl<'a, 'm> TxCtx<'a, 'm> {
+    /// Wraps a transaction.
+    pub fn new(tx: &'a mut Txn<'m>) -> Self {
+        TxCtx { tx }
+    }
+}
+
+impl fmt::Debug for TxCtx<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxCtx").field("tx", &self.tx).finish()
+    }
+}
+
+impl MemCtx for TxCtx<'_, '_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.tx.read(addr)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        self.tx.write(addr, value)
+    }
+
+    fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        self.tx.alloc(words)
+    }
+
+    fn free(&mut self, addr: Addr, words: usize) {
+        self.tx.free(addr, words);
+    }
+
+    fn alloc_line(&mut self) -> TxResult<Addr> {
+        self.tx.alloc_line()
+    }
+
+    fn subscribe(&mut self, lock: &ElidableLock) -> TxResult<()> {
+        let v = self.tx.read(lock.word())?;
+        if v != 0 {
+            self.tx.explicit_abort(AbortCause::LOCK_HELD)?;
+        }
+        Ok(())
+    }
+
+    fn explicit_abort(&mut self, code: u8) -> TxResult<()> {
+        self.tx.explicit_abort(code)
+    }
+
+    fn is_transactional(&self) -> bool {
+        true
+    }
+}
+
+/// Direct (non-speculative) implementation of [`MemCtx`].
+///
+/// Use only single-threaded (initialization) or while holding an
+/// [`ElidableLock`] all transactions subscribe to; see
+/// [`TMem::read_direct`] for the protocol.
+pub struct DirectCtx<'a> {
+    mem: &'a TMem,
+    rt: &'a dyn Runtime,
+}
+
+impl<'a> DirectCtx<'a> {
+    /// Creates a direct context over `mem`.
+    pub fn new(mem: &'a TMem, rt: &'a dyn Runtime) -> Self {
+        DirectCtx { mem, rt }
+    }
+}
+
+impl fmt::Debug for DirectCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DirectCtx").finish_non_exhaustive()
+    }
+}
+
+impl MemCtx for DirectCtx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        Ok(self.mem.read_direct(self.rt, addr))
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        self.mem.write_direct(self.rt, addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        self.mem.alloc_direct(words)
+    }
+
+    fn free(&mut self, addr: Addr, words: usize) {
+        self.mem.free_direct(addr, words);
+    }
+
+    fn alloc_line(&mut self) -> TxResult<Addr> {
+        self.mem.alloc_line_direct(1)
+    }
+
+    fn subscribe(&mut self, _lock: &ElidableLock) -> TxResult<()> {
+        Ok(())
+    }
+
+    fn explicit_abort(&mut self, code: u8) -> TxResult<()> {
+        panic!("explicit_abort({code}) called on a direct (lock-holding) context");
+    }
+
+    fn is_transactional(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TMemConfig;
+    use crate::runtime::RealRuntime;
+
+    /// A tiny "sequential" routine written once against MemCtx.
+    fn bump(ctx: &mut dyn MemCtx, a: Addr) -> TxResult<u64> {
+        let v = ctx.read(a)?;
+        ctx.write(a, v + 1)?;
+        Ok(v + 1)
+    }
+
+    #[test]
+    fn same_code_runs_direct_and_transactional() {
+        let m = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let a = m.alloc_direct(1).unwrap();
+
+        let mut d = DirectCtx::new(&m, &rt);
+        assert_eq!(bump(&mut d, a).unwrap(), 1);
+        assert!(!d.is_transactional());
+
+        let mut tx = m.begin(&rt);
+        {
+            let mut c = TxCtx::new(&mut tx);
+            assert_eq!(bump(&mut c, a).unwrap(), 2);
+            assert!(c.is_transactional());
+        }
+        tx.commit().unwrap();
+        assert_eq!(m.read_direct(&rt, a), 2);
+    }
+
+    #[test]
+    fn subscribe_aborts_when_lock_held() {
+        use std::sync::Arc;
+        let m = Arc::new(TMem::new(TMemConfig::small_word_granular()));
+        let rt = RealRuntime::new();
+        let lock = ElidableLock::new(m.clone()).unwrap();
+        lock.lock(&rt);
+        let mut tx = m.begin(&rt);
+        {
+            let mut c = TxCtx::new(&mut tx);
+            let e = c.subscribe(&lock).unwrap_err();
+            assert!(e.is_lock_held());
+        }
+        let _ = tx.rollback(AbortCause::Conflict);
+        lock.unlock(&rt);
+    }
+
+    #[test]
+    fn subscribe_then_acquire_invalidates_tx() {
+        use std::sync::Arc;
+        let m = Arc::new(TMem::new(TMemConfig::small_word_granular()));
+        let rt = RealRuntime::new();
+        let lock = ElidableLock::new(m.clone()).unwrap();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        {
+            let mut c = TxCtx::new(&mut tx);
+            c.subscribe(&lock).unwrap();
+            c.write(a, 1).unwrap();
+        }
+        lock.lock(&rt); // bumps the lock word's line version
+        assert_eq!(tx.commit().unwrap_err(), AbortCause::Conflict);
+        assert_eq!(m.read_direct(&rt, a), 0);
+        lock.unlock(&rt);
+    }
+
+    #[test]
+    fn direct_subscribe_is_noop() {
+        use std::sync::Arc;
+        let m = Arc::new(TMem::new(TMemConfig::small_word_granular()));
+        let rt = RealRuntime::new();
+        let lock = ElidableLock::new(m.clone()).unwrap();
+        lock.lock(&rt);
+        let mut d = DirectCtx::new(&m, &rt);
+        assert!(d.subscribe(&lock).is_ok());
+        lock.unlock(&rt);
+    }
+
+    #[test]
+    #[should_panic(expected = "direct")]
+    fn direct_explicit_abort_panics() {
+        let m = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let mut d = DirectCtx::new(&m, &rt);
+        let _ = d.explicit_abort(1);
+    }
+
+    #[test]
+    fn ctx_alloc_free_round_trip() {
+        let m = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let mut d = DirectCtx::new(&m, &rt);
+        let a = d.alloc(3).unwrap();
+        d.write(a, 9).unwrap();
+        assert_eq!(d.read(a).unwrap(), 9);
+        d.free(a, 3);
+        assert_eq!(m.allocator().free_block_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod alloc_line_tests {
+    use super::*;
+    use crate::config::TMemConfig;
+    use crate::runtime::RealRuntime;
+
+    #[test]
+    fn direct_alloc_line_is_line_aligned_and_zeroed() {
+        let m = TMem::new(TMemConfig::default());
+        let rt = RealRuntime::new();
+        let mut d = DirectCtx::new(&m, &rt);
+        let _ = d.alloc(3).unwrap(); // misalign the bump pointer
+        let a = d.alloc_line().unwrap();
+        assert_eq!(a.0 % m.config().words_per_line() as u64, 0);
+        assert_eq!(d.read(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn tx_alloc_line_rolls_back() {
+        let m = TMem::new(TMemConfig::default());
+        let rt = RealRuntime::new();
+        let before = m.allocator().free_block_count();
+        {
+            let mut tx = m.begin(&rt);
+            {
+                let mut c = TxCtx::new(&mut tx);
+                let a = c.alloc_line().unwrap();
+                c.write(a, 7).unwrap();
+            }
+            let _ = tx.rollback(crate::error::AbortCause::Conflict);
+        }
+        assert_eq!(m.allocator().free_block_count(), before + 1);
+    }
+
+    #[test]
+    fn tx_alloc_line_commits_with_own_line() {
+        let m = TMem::new(TMemConfig::default());
+        let rt = RealRuntime::new();
+        let other = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        let a = {
+            let mut c = TxCtx::new(&mut tx);
+            let a = c.alloc_line().unwrap();
+            c.write(a, 42).unwrap();
+            a
+        };
+        tx.commit().unwrap();
+        assert_eq!(m.read_direct(&rt, a), 42);
+        assert_ne!(m.line_of(a), m.line_of(other));
+    }
+
+    #[test]
+    fn two_alloc_lines_never_share() {
+        let m = TMem::new(TMemConfig::default());
+        let rt = RealRuntime::new();
+        let mut d = DirectCtx::new(&m, &rt);
+        let a = d.alloc_line().unwrap();
+        let b = d.alloc_line().unwrap();
+        assert_ne!(m.line_of(a), m.line_of(b));
+    }
+}

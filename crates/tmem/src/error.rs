@@ -1,0 +1,99 @@
+//! Transaction abort causes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a transaction aborted.
+///
+/// Mirrors the abort-status classes Intel TSX reports in `EAX` after an
+/// `xabort`/conflict/capacity event; the HCF framework's retry policies
+/// branch on these (e.g. capacity aborts are not worth retrying on HTM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// A data conflict: a line in the read set changed (or was locked by a
+    /// committing writer) since the transaction began.
+    Conflict,
+    /// The read or write footprint exceeded the configured capacity.
+    Capacity,
+    /// The transaction aborted itself, e.g. after observing a held lock
+    /// during subscription. The code is free-form, like `xabort`'s
+    /// immediate operand; [`ElidableLock`](crate::ElidableLock) uses
+    /// [`AbortCause::LOCK_HELD`].
+    Explicit(u8),
+    /// Memory exhaustion inside the transaction (the fixed-size word pool
+    /// has no free space). Retrying will not help unless memory is freed.
+    OutOfMemory,
+}
+
+impl AbortCause {
+    /// Explicit-abort code used when a subscribed lock is held.
+    pub const LOCK_HELD: u8 = 0xFF;
+    /// Explicit-abort code used by HCF when an operation's status changed
+    /// (it was selected by a combiner) — see the `TryVisible` phase.
+    pub const STATUS_CHANGED: u8 = 0xFE;
+
+    /// True if the abort was an explicit lock-subscription abort.
+    pub fn is_lock_held(self) -> bool {
+        matches!(self, AbortCause::Explicit(c) if c == Self::LOCK_HELD)
+    }
+
+    /// True if retrying the transaction on "HTM" may plausibly succeed
+    /// (conflicts are transient; capacity and OOM are not).
+    pub fn is_transient(self) -> bool {
+        matches!(self, AbortCause::Conflict | AbortCause::Explicit(_))
+    }
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::Conflict => write!(f, "transaction aborted: data conflict"),
+            AbortCause::Capacity => write!(f, "transaction aborted: capacity exceeded"),
+            AbortCause::Explicit(c) => write!(f, "transaction aborted: explicit (code {c:#x})"),
+            AbortCause::OutOfMemory => write!(f, "transaction aborted: out of memory"),
+        }
+    }
+}
+
+impl Error for AbortCause {}
+
+/// Result alias for fallible transactional operations.
+pub type TxResult<T> = Result<T, AbortCause>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(AbortCause::Conflict.is_transient());
+        assert!(AbortCause::Explicit(3).is_transient());
+        assert!(!AbortCause::Capacity.is_transient());
+        assert!(!AbortCause::OutOfMemory.is_transient());
+    }
+
+    #[test]
+    fn lock_held_marker() {
+        assert!(AbortCause::Explicit(AbortCause::LOCK_HELD).is_lock_held());
+        assert!(!AbortCause::Explicit(0).is_lock_held());
+        assert!(!AbortCause::Conflict.is_lock_held());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in [
+            AbortCause::Conflict,
+            AbortCause::Capacity,
+            AbortCause::Explicit(1),
+            AbortCause::OutOfMemory,
+        ] {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(AbortCause::Conflict);
+        assert!(e.downcast_ref::<AbortCause>().is_some());
+    }
+}

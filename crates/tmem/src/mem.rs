@@ -1,0 +1,341 @@
+//! The transactional memory instance.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::addr::Addr;
+use crate::alloc::Allocator;
+use crate::config::TMemConfig;
+use crate::error::TxResult;
+use crate::orec::OrecValue;
+use crate::runtime::{AccessKind, Runtime};
+use crate::stats::{TxStats, TxStatsSnapshot};
+use crate::txn::Txn;
+
+/// A word-addressable transactional memory with line-granularity conflict
+/// detection. See the [crate docs](crate) for the overall model.
+///
+/// All state lives in pre-sized arrays of atomics, so the structure is
+/// `Send + Sync` and fully safe Rust.
+pub struct TMem {
+    cfg: TMemConfig,
+    words: Box<[AtomicU64]>,
+    orecs: Box<[AtomicU64]>,
+    /// TL2 global version clock.
+    clock: AtomicU64,
+    /// Number of transactions currently between read-set validation and the
+    /// end of write-back. [`TMem::quiesce`] waits for this to reach zero;
+    /// see [`ElidableLock`](crate::ElidableLock) for the protocol.
+    writeback_active: AtomicUsize,
+    alloc: Allocator,
+    stats: TxStats,
+}
+
+impl TMem {
+    /// Creates a memory per `cfg`, zero-initialized.
+    pub fn new(cfg: TMemConfig) -> Self {
+        let words = (0..cfg.words).map(|_| AtomicU64::new(0)).collect();
+        let orecs = (0..cfg.lines()).map(|_| AtomicU64::new(0)).collect();
+        let alloc = Allocator::new(cfg.words);
+        TMem {
+            cfg,
+            words,
+            orecs,
+            clock: AtomicU64::new(0),
+            writeback_active: AtomicUsize::new(0),
+            alloc,
+            stats: TxStats::new(),
+        }
+    }
+
+    /// This memory's configuration.
+    pub fn config(&self) -> &TMemConfig {
+        &self.cfg
+    }
+
+    /// The conflict-detection line containing `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> usize {
+        (addr.0 as usize) >> self.cfg.words_per_line_log2
+    }
+
+    /// Current value of the global version clock.
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn bump_clock(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    #[inline]
+    pub(crate) fn word(&self, addr: Addr) -> &AtomicU64 {
+        &self.words[addr.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn orec(&self, line: usize) -> &AtomicU64 {
+        &self.orecs[line]
+    }
+
+    pub(crate) fn stats_ref(&self) -> &TxStats {
+        &self.stats
+    }
+
+    pub(crate) fn writeback_enter(&self) {
+        self.writeback_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn writeback_exit(&self) {
+        self.writeback_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Begins a transaction. The returned [`Txn`] borrows this memory and
+    /// the runtime; commit or drop it before starting another on the same
+    /// thread.
+    pub fn begin<'m>(&'m self, rt: &'m dyn Runtime) -> Txn<'m> {
+        Txn::new(self, rt)
+    }
+
+    /// Non-transactional load.
+    ///
+    /// Safe to call concurrently with transactions, but the caller only
+    /// gets *consistency across multiple reads* when it holds an
+    /// [`ElidableLock`](crate::ElidableLock) that all transactions
+    /// subscribe to (the lock's acquire quiesces in-flight write-backs), or
+    /// when no other thread is running. A lone `read_direct` is always
+    /// atomic at word granularity and is appropriate for heuristics
+    /// (spin-waiting on a status word, reading a look-aside hint).
+    pub fn read_direct(&self, rt: &dyn Runtime, addr: Addr) -> u64 {
+        self.stats.record_direct_read();
+        rt.mem_access(self.line_of(addr), AccessKind::Read);
+        self.word(addr).load(Ordering::SeqCst)
+    }
+
+    /// Non-transactional store. Bumps the line version so every in-flight
+    /// transaction that read the line aborts — this is what makes direct
+    /// writes by a lock holder (or by an HCF combiner during selection)
+    /// visible as conflicts to speculating transactions.
+    pub fn write_direct(&self, rt: &dyn Runtime, addr: Addr, value: u64) {
+        self.stats.record_direct_write();
+        rt.mem_access(self.line_of(addr), AccessKind::Write);
+        let line = self.line_of(addr);
+        let old = self.lock_orec_spin(line);
+        self.word(addr).store(value, Ordering::SeqCst);
+        let wv = self.bump_clock();
+        debug_assert!(wv > old.version());
+        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+    }
+
+    /// Non-transactional compare-and-swap on a word. On success the line
+    /// version is bumped (like [`TMem::write_direct`]); on failure the
+    /// current value is returned and the line is left untouched.
+    pub fn cas_direct(
+        &self,
+        rt: &dyn Runtime,
+        addr: Addr,
+        expected: u64,
+        new: u64,
+    ) -> Result<(), u64> {
+        rt.mem_access(self.line_of(addr), AccessKind::Write);
+        let line = self.line_of(addr);
+        let old = self.lock_orec_spin(line);
+        let cur = self.word(addr).load(Ordering::SeqCst);
+        if cur != expected {
+            self.orec(line).store(old.raw(), Ordering::SeqCst);
+            return Err(cur);
+        }
+        self.stats.record_direct_write();
+        self.word(addr).store(new, Ordering::SeqCst);
+        let wv = self.bump_clock();
+        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Spin-locks `line`'s orec and returns the previous (unlocked) value.
+    ///
+    /// Orec locks are only ever held for a bounded, yield-free critical
+    /// section (commit write-back or a single direct store), so spinning
+    /// here cannot deadlock — including under the lockstep runtime, where
+    /// holders never park while a lock is held.
+    fn lock_orec_spin(&self, line: usize) -> OrecValue {
+        loop {
+            let cur = OrecValue(self.orec(line).load(Ordering::SeqCst));
+            if !cur.is_locked()
+                && self
+                    .orec(line)
+                    .compare_exchange(
+                        cur.raw(),
+                        cur.locked().raw(),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+            {
+                return cur;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Waits until no transaction is in its commit write-back window.
+    ///
+    /// Called by [`ElidableLock`](crate::ElidableLock) right after the lock
+    /// word is set: transactions that validated *before* the acquisition
+    /// may still be publishing their writes; once they drain, the holder's
+    /// direct reads observe a consistent memory (all later transactions
+    /// fail validation against the bumped lock word).
+    pub fn quiesce(&self, rt: &dyn Runtime) {
+        while self.writeback_active.load(Ordering::SeqCst) != 0 {
+            rt.yield_now();
+        }
+    }
+
+    /// Allocates and zeroes a block outside any transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::OutOfMemory`](crate::AbortCause::OutOfMemory) when the
+    /// pool is exhausted.
+    pub fn alloc_direct(&self, words: usize) -> TxResult<Addr> {
+        let a = self.alloc.alloc(words)?;
+        // Zero through the orec protocol so stale readers of a recycled
+        // block abort (the version bump invalidates them).
+        for i in 0..words as u64 {
+            let line = self.line_of(a + i);
+            let _old = self.lock_orec_spin(line);
+            self.word(a + i).store(0, Ordering::SeqCst);
+            let wv = self.bump_clock();
+            self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        }
+        Ok(a)
+    }
+
+    /// Allocates a block aligned to a line boundary (for headers and locks
+    /// that should not share a line with unrelated data).
+    pub fn alloc_line_direct(&self, words: usize) -> TxResult<Addr> {
+        let a = self.alloc.alloc_aligned(words, self.cfg.words_per_line())?;
+        for i in 0..words as u64 {
+            self.word(a + i).store(0, Ordering::SeqCst);
+        }
+        Ok(a)
+    }
+
+    /// Returns a block to the pool. See [`Allocator::free`] for why the
+    /// contents are left untouched.
+    pub fn free_direct(&self, addr: Addr, words: usize) {
+        self.alloc.free(addr, words);
+    }
+
+    pub(crate) fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    /// Substrate statistics accumulated so far.
+    pub fn stats(&self) -> TxStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl fmt::Debug for TMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TMem")
+            .field("words", &self.cfg.words)
+            .field("lines", &self.cfg.lines())
+            .field("clock", &self.clock())
+            .field("alloc", &self.alloc)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RealRuntime;
+
+    fn setup() -> (TMem, RealRuntime) {
+        (TMem::new(TMemConfig::small_word_granular()), RealRuntime::new())
+    }
+
+    #[test]
+    fn direct_read_write_round_trip() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        m.write_direct(&rt, a, 1234);
+        assert_eq!(m.read_direct(&rt, a), 1234);
+    }
+
+    #[test]
+    fn direct_write_bumps_line_version() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let before = OrecValue(m.orec(m.line_of(a)).load(Ordering::SeqCst));
+        m.write_direct(&rt, a, 7);
+        let after = OrecValue(m.orec(m.line_of(a)).load(Ordering::SeqCst));
+        assert!(after.version() > before.version());
+        assert!(!after.is_locked());
+    }
+
+    #[test]
+    fn cas_direct_success_and_failure() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        assert_eq!(m.cas_direct(&rt, a, 0, 5), Ok(()));
+        assert_eq!(m.cas_direct(&rt, a, 0, 9), Err(5));
+        assert_eq!(m.read_direct(&rt, a), 5);
+    }
+
+    #[test]
+    fn cas_failure_does_not_bump_version() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        m.write_direct(&rt, a, 1);
+        let before = m.orec(m.line_of(a)).load(Ordering::SeqCst);
+        let _ = m.cas_direct(&rt, a, 99, 100);
+        let after = m.orec(m.line_of(a)).load(Ordering::SeqCst);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn line_mapping_respects_granularity() {
+        let m = TMem::new(TMemConfig {
+            words: 64,
+            words_per_line_log2: 3,
+            ..TMemConfig::default()
+        });
+        assert_eq!(m.line_of(Addr(0)), 0);
+        assert_eq!(m.line_of(Addr(7)), 0);
+        assert_eq!(m.line_of(Addr(8)), 1);
+    }
+
+    #[test]
+    fn alloc_direct_zeroes_recycled_blocks() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(2).unwrap();
+        m.write_direct(&rt, a, 11);
+        m.write_direct(&rt, a + 1, 22);
+        m.free_direct(a, 2);
+        let b = m.alloc_direct(2).unwrap();
+        assert_eq!(b, a, "size-class recycling");
+        assert_eq!(m.read_direct(&rt, b), 0);
+        assert_eq!(m.read_direct(&rt, b + 1), 0);
+    }
+
+    #[test]
+    fn quiesce_returns_when_no_writebacks() {
+        let (m, rt) = setup();
+        m.quiesce(&rt); // must not hang
+    }
+
+    #[test]
+    fn stats_track_direct_accesses() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        m.write_direct(&rt, a, 1);
+        let _ = m.read_direct(&rt, a);
+        let s = m.stats();
+        assert!(s.direct_writes >= 1);
+        assert!(s.direct_reads >= 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! The runtime abstraction: thread identity, time, and cost accounting.
+//!
+//! All code in this workspace (the STM, the HCF framework, the data
+//! structures) is written against the [`Runtime`] trait instead of calling
+//! `std::thread`/`Instant` directly. Two implementations exist:
+//!
+//! * [`RealRuntime`] (this module) — a thin pass-through for ordinary
+//!   multi-threaded execution; `advance` is a no-op and `now` is wall time.
+//! * `LockstepRuntime` (in the `hcf-sim` crate) — a deterministic
+//!   discrete-event scheduler that admits exactly one thread at a time (the
+//!   one with the smallest virtual clock) and charges virtual cycles per
+//!   memory access according to a machine cost model. The *same* algorithm
+//!   code then reproduces the paper's 36/72-thread scaling figures on a
+//!   single physical core.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// The kind of a memory access, for cost accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A transactional or direct load.
+    Read,
+    /// A transactional store (encounter time) or direct store. Transfers
+    /// line ownership to the accessing thread in cost models that track
+    /// coherence.
+    Write,
+}
+
+/// Transaction lifecycle events, for cost accounting and statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxEvent {
+    /// A transaction began.
+    Begin,
+    /// A transaction committed.
+    Commit,
+    /// A transaction aborted.
+    Abort,
+}
+
+/// Aggregate memory-access statistics reported by a runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemAccessStats {
+    /// Accesses that hit a line already owned by the accessing thread.
+    pub hits: u64,
+    /// Accesses to a line owned by another thread on the same socket.
+    pub local_misses: u64,
+    /// Accesses to a line owned by a thread on a different socket.
+    pub remote_misses: u64,
+}
+
+impl MemAccessStats {
+    /// Total number of accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.local_misses + self.remote_misses
+    }
+
+    /// Total number of coherence misses.
+    pub fn misses(&self) -> u64 {
+        self.local_misses + self.remote_misses
+    }
+}
+
+/// Thread identity, virtual time, and cost hooks.
+///
+/// Implementations must be cheap: `mem_access` is called on every
+/// transactional load/store.
+pub trait Runtime: Send + Sync {
+    /// A dense identifier for the calling thread, in `0..max_threads`.
+    /// Assignments are stable for the lifetime of the thread.
+    fn thread_id(&self) -> usize;
+
+    /// Charge `cycles` of work to the calling thread. In the lockstep
+    /// runtime this may park the caller until it holds the minimum virtual
+    /// clock again; callers must therefore never hold an OS mutex across a
+    /// call to `advance`.
+    fn advance(&self, cycles: u64);
+
+    /// Cooperative pause inside a spin loop. Must make progress in virtual
+    /// time so spinners do not starve the simulation.
+    fn yield_now(&self);
+
+    /// Current time. Nanoseconds of wall time for the real runtime, virtual
+    /// cycles for the lockstep runtime.
+    fn now(&self) -> u64;
+
+    /// Account (and, in simulation, charge) one memory access to `line`.
+    fn mem_access(&self, line: usize, kind: AccessKind);
+
+    /// Account a transaction lifecycle event.
+    fn tx_event(&self, event: TxEvent);
+
+    /// Whether this runtime simulates virtual time.
+    fn is_simulated(&self) -> bool {
+        false
+    }
+
+    /// Memory-access statistics accumulated so far (zeros if the runtime
+    /// does not track coherence).
+    fn mem_stats(&self) -> MemAccessStats {
+        MemAccessStats::default()
+    }
+}
+
+/// Pass-through runtime for ordinary execution: threads run freely, time is
+/// wall time, and per-access cost hooks only bump counters.
+pub struct RealRuntime {
+    start: Instant,
+    next_id: AtomicUsize,
+    ids: Mutex<HashMap<std::thread::ThreadId, usize>>,
+    accesses: AtomicU64,
+    begins: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl RealRuntime {
+    /// Creates a new real runtime. Thread ids are assigned densely in the
+    /// order threads first touch the runtime.
+    pub fn new() -> Self {
+        RealRuntime {
+            start: Instant::now(),
+            next_id: AtomicUsize::new(0),
+            ids: Mutex::new(HashMap::new()),
+            accesses: AtomicU64::new(0),
+            begins: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of transactions begun/committed/aborted so far.
+    pub fn tx_counts(&self) -> (u64, u64, u64) {
+        (
+            self.begins.load(Ordering::Relaxed),
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total memory accesses observed.
+    pub fn access_count(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RealRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RealRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RealRuntime")
+            .field("threads", &self.next_id.load(Ordering::Relaxed))
+            .field("accesses", &self.accesses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Runtime for RealRuntime {
+    fn thread_id(&self) -> usize {
+        let tid = std::thread::current().id();
+        let mut ids = self.ids.lock();
+        if let Some(&id) = ids.get(&tid) {
+            return id;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        ids.insert(tid, id);
+        id
+    }
+
+    fn advance(&self, _cycles: u64) {}
+
+    fn yield_now(&self) {
+        std::thread::yield_now();
+    }
+
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn mem_access(&self, _line: usize, _kind: AccessKind) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn tx_event(&self, event: TxEvent) {
+        let ctr = match event {
+            TxEvent::Begin => &self.begins,
+            TxEvent::Commit => &self.commits,
+            TxEvent::Abort => &self.aborts,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn thread_ids_are_dense_and_stable() {
+        let rt = Arc::new(RealRuntime::new());
+        let id0 = rt.thread_id();
+        assert_eq!(id0, rt.thread_id(), "stable within a thread");
+        let rt2 = rt.clone();
+        let other = std::thread::spawn(move || rt2.thread_id()).join().unwrap();
+        assert_ne!(id0, other);
+        assert!(other < 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rt = RealRuntime::new();
+        rt.mem_access(0, AccessKind::Read);
+        rt.mem_access(1, AccessKind::Write);
+        rt.tx_event(TxEvent::Begin);
+        rt.tx_event(TxEvent::Commit);
+        rt.tx_event(TxEvent::Begin);
+        rt.tx_event(TxEvent::Abort);
+        assert_eq!(rt.access_count(), 2);
+        assert_eq!(rt.tx_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let rt = RealRuntime::new();
+        let a = rt.now();
+        let b = rt.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn default_mem_stats_are_zero() {
+        let rt = RealRuntime::new();
+        rt.mem_access(3, AccessKind::Read);
+        assert_eq!(rt.mem_stats(), MemAccessStats::default());
+        assert_eq!(rt.mem_stats().total(), 0);
+    }
+
+    #[test]
+    fn not_simulated() {
+        assert!(!RealRuntime::new().is_simulated());
+    }
+}

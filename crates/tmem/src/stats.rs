@@ -1,0 +1,166 @@
+//! Global transactional-memory statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::AbortCause;
+
+/// Monotonic counters kept by a [`TMem`](crate::TMem) instance.
+///
+/// These are *substrate-level* statistics (the HCF framework keeps its own
+/// per-phase accounting on top). All counters are updated with relaxed
+/// atomics; snapshots are approximate under concurrency, exact in the
+/// deterministic lockstep runtime.
+#[derive(Debug, Default)]
+pub struct TxStats {
+    commits: AtomicU64,
+    aborts_conflict: AtomicU64,
+    aborts_capacity: AtomicU64,
+    aborts_explicit: AtomicU64,
+    aborts_oom: AtomicU64,
+    tx_reads: AtomicU64,
+    tx_writes: AtomicU64,
+    direct_reads: AtomicU64,
+    direct_writes: AtomicU64,
+}
+
+/// A point-in-time copy of [`TxStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStatsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborts due to data conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts due to footprint capacity.
+    pub aborts_capacity: u64,
+    /// Explicit aborts (lock subscription, status changes, ...).
+    pub aborts_explicit: u64,
+    /// Aborts due to word-pool exhaustion.
+    pub aborts_oom: u64,
+    /// Transactional loads.
+    pub tx_reads: u64,
+    /// Transactional stores.
+    pub tx_writes: u64,
+    /// Direct (non-transactional) loads.
+    pub direct_reads: u64,
+    /// Direct (non-transactional) stores.
+    pub direct_writes: u64,
+}
+
+impl TxStatsSnapshot {
+    /// Total aborts of any cause.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_oom
+    }
+
+    /// Commit ratio among finished transactions, in `[0, 1]`; `1.0` when no
+    /// transaction finished yet.
+    pub fn commit_ratio(&self) -> f64 {
+        let total = self.commits + self.aborts();
+        if total == 0 {
+            1.0
+        } else {
+            self.commits as f64 / total as f64
+        }
+    }
+}
+
+impl TxStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_abort(&self, cause: AbortCause) {
+        let ctr = match cause {
+            AbortCause::Conflict => &self.aborts_conflict,
+            AbortCause::Capacity => &self.aborts_capacity,
+            AbortCause::Explicit(_) => &self.aborts_explicit,
+            AbortCause::OutOfMemory => &self.aborts_oom,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tx_read(&self) {
+        self.tx_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_tx_write(&self) {
+        self.tx_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_direct_read(&self) {
+        self.direct_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_direct_write(&self) {
+        self.direct_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> TxStatsSnapshot {
+        TxStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_capacity: self.aborts_capacity.load(Ordering::Relaxed),
+            aborts_explicit: self.aborts_explicit.load(Ordering::Relaxed),
+            aborts_oom: self.aborts_oom.load(Ordering::Relaxed),
+            tx_reads: self.tx_reads.load(Ordering::Relaxed),
+            tx_writes: self.tx_writes.load(Ordering::Relaxed),
+            direct_reads: self.direct_reads.load(Ordering::Relaxed),
+            direct_writes: self.direct_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_causes_counted_separately() {
+        let s = TxStats::new();
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Capacity);
+        s.record_abort(AbortCause::Explicit(1));
+        s.record_abort(AbortCause::OutOfMemory);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts_conflict, 2);
+        assert_eq!(snap.aborts_capacity, 1);
+        assert_eq!(snap.aborts_explicit, 1);
+        assert_eq!(snap.aborts_oom, 1);
+        assert_eq!(snap.aborts(), 5);
+    }
+
+    #[test]
+    fn commit_ratio() {
+        let s = TxStats::new();
+        assert_eq!(s.snapshot().commit_ratio(), 1.0);
+        s.record_commit();
+        s.record_abort(AbortCause::Conflict);
+        assert!((s.snapshot().commit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_counters() {
+        let s = TxStats::new();
+        s.record_tx_read();
+        s.record_tx_write();
+        s.record_direct_read();
+        s.record_direct_write();
+        let snap = s.snapshot();
+        assert_eq!(
+            (
+                snap.tx_reads,
+                snap.tx_writes,
+                snap.direct_reads,
+                snap.direct_writes
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+}

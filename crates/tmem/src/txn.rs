@@ -1,0 +1,660 @@
+//! TL2-style transactions with opacity.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::error::{AbortCause, TxResult};
+use crate::mem::TMem;
+use crate::orec::OrecValue;
+use crate::runtime::{AccessKind, Runtime, TxEvent};
+
+/// An in-flight transaction.
+///
+/// Reads validate the line version against the begin-time clock snapshot
+/// (opacity: a transaction never observes an inconsistent state, so no
+/// "zombie" executions loop on garbage). Writes are buffered and published
+/// at [`Txn::commit`] after write-locking the affected lines and
+/// re-validating the read set.
+///
+/// The `Err(AbortCause)` returned by [`read`](Txn::read)/[`write`](Txn::write)
+/// is sticky: once poisoned, every subsequent operation fails with the same
+/// cause, so user code can simply propagate with `?` and let the retry loop
+/// inspect the cause.
+pub struct Txn<'m> {
+    mem: &'m TMem,
+    rt: &'m dyn Runtime,
+    /// Begin-time snapshot of the global clock.
+    rv: u64,
+    /// First-seen orec value per read line.
+    reads: HashMap<usize, u64>,
+    /// Buffered stores (word address -> value).
+    writes: HashMap<u64, u64>,
+    /// Blocks allocated by this transaction (rolled back on abort).
+    allocs: Vec<(Addr, usize)>,
+    /// Frees requested by this transaction (executed after commit).
+    frees: Vec<(Addr, usize)>,
+    poisoned: Option<AbortCause>,
+    finished: bool,
+}
+
+impl<'m> Txn<'m> {
+    pub(crate) fn new(mem: &'m TMem, rt: &'m dyn Runtime) -> Self {
+        rt.tx_event(TxEvent::Begin);
+        Txn {
+            mem,
+            rt,
+            rv: mem.clock(),
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+            poisoned: None,
+            finished: false,
+        }
+    }
+
+    fn poison(&mut self, cause: AbortCause) -> AbortCause {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(cause);
+        }
+        self.poisoned.unwrap()
+    }
+
+    fn check_poison(&self) -> TxResult<()> {
+        match self.poisoned {
+            Some(c) => Err(c),
+            None => Ok(()),
+        }
+    }
+
+    /// The abort cause if this transaction has already failed.
+    pub fn abort_cause(&self) -> Option<AbortCause> {
+        self.poisoned
+    }
+
+    /// Number of distinct lines read so far.
+    pub fn read_footprint(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of distinct lines written so far.
+    pub fn write_footprint(&self) -> usize {
+        let mut lines: Vec<usize> = self.writes.keys().map(|&a| self.mem.line_of(Addr(a))).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Transactional load.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::Conflict`] if the line is write-locked or changed
+    /// since the transaction began; [`AbortCause::Capacity`] if the read
+    /// footprint exceeds the configured limit.
+    pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.check_poison()?;
+        if let Some(&v) = self.writes.get(&addr.0) {
+            return Ok(v);
+        }
+        self.mem.stats_ref().record_tx_read();
+        let line = self.mem.line_of(addr);
+        self.rt.mem_access(line, AccessKind::Read);
+        let o1 = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
+        if o1.is_locked() || o1.version() > self.rv {
+            return Err(self.poison(AbortCause::Conflict));
+        }
+        let v = self.mem.word(addr).load(std::sync::atomic::Ordering::SeqCst);
+        let o2 = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
+        if o1 != o2 {
+            return Err(self.poison(AbortCause::Conflict));
+        }
+        match self.reads.get(&line) {
+            Some(&rec) if rec != o1.raw() => return Err(self.poison(AbortCause::Conflict)),
+            Some(_) => {}
+            None => {
+                if self.reads.len() >= self.mem.config().read_cap_lines {
+                    return Err(self.poison(AbortCause::Capacity));
+                }
+                self.reads.insert(line, o1.raw());
+            }
+        }
+        Ok(v)
+    }
+
+    /// Transactional (buffered) store.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::Capacity`] if the write footprint exceeds the
+    /// configured limit.
+    pub fn write(&mut self, addr: Addr, value: u64) -> TxResult<()> {
+        self.check_poison()?;
+        self.mem.stats_ref().record_tx_write();
+        let line = self.mem.line_of(addr);
+        if !self.writes.contains_key(&addr.0) {
+            // Encounter-time coherence event: TSX takes lines exclusive at
+            // first write, which is what perturbs other threads' caches.
+            self.rt.mem_access(line, AccessKind::Write);
+            if self.write_line_count_with(line) > self.mem.config().write_cap_lines {
+                return Err(self.poison(AbortCause::Capacity));
+            }
+        }
+        self.writes.insert(addr.0, value);
+        Ok(())
+    }
+
+    fn write_line_count_with(&self, new_line: usize) -> usize {
+        let mut lines: Vec<usize> = self
+            .writes
+            .keys()
+            .map(|&a| self.mem.line_of(Addr(a)))
+            .collect();
+        lines.push(new_line);
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Explicitly aborts with code `code` (the `xabort` analogue).
+    ///
+    /// Always returns `Err`, so call sites can write
+    /// `return tx_ctx.explicit_abort(code).map(|_| unreachable)`-free code
+    /// by propagating the error.
+    pub fn explicit_abort(&mut self, code: u8) -> TxResult<()> {
+        self.check_poison()?;
+        Err(self.poison(AbortCause::Explicit(code)))
+    }
+
+    /// Allocates a zeroed block inside this transaction. The zeroed words
+    /// enter the write set (a TSX transaction would buffer them in L1 the
+    /// same way), so reads of the fresh block hit the write buffer, and the
+    /// block is published — with its line versions bumped — only on commit.
+    /// On abort the block is returned to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::OutOfMemory`] or [`AbortCause::Capacity`].
+    pub fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        self.check_poison()?;
+        let a = self.mem.allocator().alloc(words).map_err(|e| self.poison(e))?;
+        self.allocs.push((a, words));
+        for i in 0..words as u64 {
+            self.write(a + i, 0)?;
+        }
+        Ok(a)
+    }
+
+    /// Allocates one zeroed word on a cache line of its own (padding for
+    /// contended words such as per-end deque anchors). The whole line is
+    /// reserved; free with the line's word count.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortCause::OutOfMemory`] or [`AbortCause::Capacity`].
+    pub fn alloc_line(&mut self) -> TxResult<Addr> {
+        self.check_poison()?;
+        let wpl = self.mem.config().words_per_line();
+        let a = self
+            .mem
+            .allocator()
+            .alloc_aligned(wpl, wpl)
+            .map_err(|e| self.poison(e))?;
+        self.allocs.push((a, wpl));
+        for i in 0..wpl as u64 {
+            self.write(a + i, 0)?;
+        }
+        Ok(a)
+    }
+
+    /// Schedules a block to be freed if (and only if) this transaction
+    /// commits.
+    pub fn free(&mut self, addr: Addr, words: usize) {
+        self.frees.push((addr, words));
+    }
+
+    /// Attempts to commit. Consumes the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause on failure; buffered writes are discarded
+    /// and blocks allocated inside the transaction are returned to the
+    /// pool.
+    pub fn commit(mut self) -> Result<(), AbortCause> {
+        if let Some(c) = self.poisoned {
+            self.rollback_internal();
+            return Err(c);
+        }
+        // Charge the commit cost up front: `advance` may park us in the
+        // lockstep runtime and nothing below may hold a lock across a park.
+        self.rt.tx_event(TxEvent::Commit);
+        if self.writes.is_empty() {
+            // Read-only transactions were validated read-by-read against
+            // `rv`; nothing to publish.
+            self.finished = true;
+            self.mem.stats_ref().record_commit();
+            self.execute_frees();
+            return Ok(());
+        }
+
+        let mut lines: Vec<usize> = self
+            .writes
+            .keys()
+            .map(|&a| self.mem.line_of(Addr(a)))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+
+        // Phase 1: write-lock the write lines in address order. No yields
+        // or advances from here to release, so lock holders never park.
+        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(lines.len());
+        for &line in &lines {
+            let cur = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
+            let consistent_with_reads = match self.reads.get(&line) {
+                Some(&rec) => rec == cur.raw(),
+                None => true,
+            };
+            if cur.is_locked()
+                || !consistent_with_reads
+                || self
+                    .mem
+                    .orec(line)
+                    .compare_exchange(
+                        cur.raw(),
+                        cur.locked().raw(),
+                        std::sync::atomic::Ordering::SeqCst,
+                        std::sync::atomic::Ordering::SeqCst,
+                    )
+                    .is_err()
+            {
+                for &(l, orig) in &locked {
+                    self.mem.orec(l).store(orig, std::sync::atomic::Ordering::SeqCst);
+                }
+                self.rt.tx_event(TxEvent::Abort);
+                self.mem.stats_ref().record_abort(AbortCause::Conflict);
+                self.rollback_internal();
+                return Err(AbortCause::Conflict);
+            }
+            locked.push((line, cur.raw()));
+        }
+
+        // Phase 2: enter the write-back window *before* validating, so a
+        // lock acquirer that bumps its lock word after our validation
+        // passes will wait for us in `quiesce`.
+        self.mem.writeback_enter();
+        let wv = self.mem.bump_clock();
+
+        // Phase 3: validate the read set.
+        let write_lines: &[ (usize, u64) ] = &locked;
+        for (&line, &rec) in &self.reads {
+            if write_lines.iter().any(|&(l, _)| l == line) {
+                continue; // we hold this line's write lock
+            }
+            let cur = self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst);
+            if cur != rec {
+                for &(l, orig) in &locked {
+                    self.mem.orec(l).store(orig, std::sync::atomic::Ordering::SeqCst);
+                }
+                self.mem.writeback_exit();
+                self.rt.tx_event(TxEvent::Abort);
+                self.mem.stats_ref().record_abort(AbortCause::Conflict);
+                self.rollback_internal();
+                return Err(AbortCause::Conflict);
+            }
+        }
+
+        // Phase 4: publish.
+        for (&addr, &val) in &self.writes {
+            self.mem.word(Addr(addr)).store(val, std::sync::atomic::Ordering::SeqCst);
+        }
+        let unlocked = OrecValue::unlocked(wv).raw();
+        for &(line, _) in &locked {
+            self.mem.orec(line).store(unlocked, std::sync::atomic::Ordering::SeqCst);
+        }
+        self.mem.writeback_exit();
+
+        self.finished = true;
+        self.mem.stats_ref().record_commit();
+        self.execute_frees();
+        Ok(())
+    }
+
+    /// Abandons the transaction, returning its abort cause (or the given
+    /// default if the body failed without poisoning, which happens when the
+    /// caller decides to abort for its own reasons).
+    pub fn rollback(mut self, default_cause: AbortCause) -> AbortCause {
+        let cause = self.poisoned.unwrap_or(default_cause);
+        self.rt.tx_event(TxEvent::Abort);
+        self.mem.stats_ref().record_abort(cause);
+        self.rollback_internal();
+        cause
+    }
+
+    fn rollback_internal(&mut self) {
+        self.finished = true;
+        for (a, w) in self.allocs.drain(..) {
+            self.mem.allocator().free(a, w);
+        }
+        self.writes.clear();
+        self.reads.clear();
+        self.frees.clear();
+    }
+
+    fn execute_frees(&mut self) {
+        for (a, w) in self.frees.drain(..) {
+            self.mem.allocator().free(a, w);
+        }
+        self.allocs.clear();
+    }
+}
+
+impl fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn")
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Dropped without commit/rollback (e.g. `?` propagation past
+            // the transaction): count it as an abort and recycle allocs.
+            self.rt.tx_event(TxEvent::Abort);
+            self.mem
+                .stats_ref()
+                .record_abort(self.poisoned.unwrap_or(AbortCause::Conflict));
+            self.rollback_internal();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TMemConfig;
+    use crate::runtime::RealRuntime;
+
+    fn setup() -> (TMem, RealRuntime) {
+        (TMem::new(TMemConfig::small_word_granular()), RealRuntime::new())
+    }
+
+    #[test]
+    fn read_write_commit() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(2).unwrap();
+        let mut tx = m.begin(&rt);
+        tx.write(a, 10).unwrap();
+        tx.write(a + 1, 20).unwrap();
+        assert_eq!(tx.read(a).unwrap(), 10, "read-your-own-write");
+        tx.commit().unwrap();
+        assert_eq!(m.read_direct(&rt, a), 10);
+        assert_eq!(m.read_direct(&rt, a + 1), 20);
+    }
+
+    #[test]
+    fn buffered_writes_invisible_until_commit() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        tx.write(a, 99).unwrap();
+        assert_eq!(m.read_direct(&rt, a), 0);
+        tx.commit().unwrap();
+        assert_eq!(m.read_direct(&rt, a), 99);
+    }
+
+    #[test]
+    fn rollback_discards_writes() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        tx.write(a, 99).unwrap();
+        let cause = tx.rollback(AbortCause::Explicit(1));
+        assert_eq!(cause, AbortCause::Explicit(1));
+        assert_eq!(m.read_direct(&rt, a), 0);
+    }
+
+    #[test]
+    fn direct_write_conflicts_reader() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        assert_eq!(tx.read(a).unwrap(), 0);
+        m.write_direct(&rt, a, 5); // lock holder / combiner writes
+        // The read set is now stale; commit of a dependent write must fail.
+        tx.write(a, 1).unwrap();
+        assert_eq!(tx.commit().unwrap_err(), AbortCause::Conflict);
+        assert_eq!(m.read_direct(&rt, a), 5);
+    }
+
+    #[test]
+    fn read_after_direct_write_aborts_eagerly() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        m.write_direct(&rt, a, 5);
+        // Version is now newer than the begin snapshot: opacity demands an
+        // immediate conflict rather than returning a possibly-inconsistent
+        // value.
+        assert_eq!(tx.read(a).unwrap_err(), AbortCause::Conflict);
+    }
+
+    #[test]
+    fn committed_writer_aborts_overlapping_reader() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let b = m.alloc_direct(1).unwrap();
+        let mut t1 = m.begin(&rt);
+        assert_eq!(t1.read(a).unwrap(), 0);
+        let mut t2 = m.begin(&rt);
+        t2.write(a, 1).unwrap();
+        t2.commit().unwrap();
+        t1.write(b, 1).unwrap();
+        assert_eq!(t1.commit().unwrap_err(), AbortCause::Conflict);
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let b = m.alloc_direct(1).unwrap();
+        let mut t1 = m.begin(&rt);
+        t1.write(a, 1).unwrap();
+        let mut t2 = m.begin(&rt);
+        t2.write(b, 2).unwrap();
+        t2.commit().unwrap();
+        t1.commit().unwrap();
+        assert_eq!(m.read_direct(&rt, a), 1);
+        assert_eq!(m.read_direct(&rt, b), 2);
+    }
+
+    #[test]
+    fn read_only_tx_commits_without_clock_bump() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let clock_before = m.clock();
+        let mut tx = m.begin(&rt);
+        tx.read(a).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(m.clock(), clock_before);
+    }
+
+    #[test]
+    fn explicit_abort_is_sticky() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        assert_eq!(
+            tx.explicit_abort(7).unwrap_err(),
+            AbortCause::Explicit(7)
+        );
+        assert_eq!(tx.read(a).unwrap_err(), AbortCause::Explicit(7));
+        assert_eq!(tx.write(a, 1).unwrap_err(), AbortCause::Explicit(7));
+        assert_eq!(tx.commit().unwrap_err(), AbortCause::Explicit(7));
+    }
+
+    #[test]
+    fn write_capacity_abort() {
+        let m = TMem::new(TMemConfig {
+            words: 1 << 12,
+            words_per_line_log2: 0,
+            read_cap_lines: 1 << 12,
+            write_cap_lines: 4,
+        });
+        let rt = RealRuntime::new();
+        let a = m.alloc_direct(8).unwrap();
+        let mut tx = m.begin(&rt);
+        for i in 0..4 {
+            tx.write(a + i, i).unwrap();
+        }
+        assert_eq!(tx.write(a + 4, 4).unwrap_err(), AbortCause::Capacity);
+    }
+
+    #[test]
+    fn read_capacity_abort() {
+        let m = TMem::new(TMemConfig {
+            words: 1 << 12,
+            words_per_line_log2: 0,
+            read_cap_lines: 4,
+            write_cap_lines: 1 << 12,
+        });
+        let rt = RealRuntime::new();
+        let a = m.alloc_direct(8).unwrap();
+        let mut tx = m.begin(&rt);
+        for i in 0..4 {
+            tx.read(a + i).unwrap();
+        }
+        assert_eq!(tx.read(a + 4).unwrap_err(), AbortCause::Capacity);
+    }
+
+    #[test]
+    fn tx_alloc_rolls_back_on_abort() {
+        let (m, rt) = setup();
+        let hw_before;
+        {
+            let mut tx = m.begin(&rt);
+            let n = tx.alloc(3).unwrap();
+            tx.write(n, 42).unwrap();
+            hw_before = m.allocator().high_water();
+            let _ = tx.rollback(AbortCause::Conflict);
+        }
+        // The block is back on the free list; allocating again reuses it.
+        assert_eq!(m.allocator().free_block_count(), 1);
+        let again = m.alloc_direct(3).unwrap();
+        assert!(again.0 < hw_before, "recycled, not bumped");
+        assert_eq!(m.read_direct(&rt, again), 0, "zeroed on realloc");
+    }
+
+    #[test]
+    fn tx_alloc_published_on_commit() {
+        let (m, rt) = setup();
+        let root = m.alloc_direct(1).unwrap();
+        let mut tx = m.begin(&rt);
+        let n = tx.alloc(2).unwrap();
+        tx.write(n, 7).unwrap();
+        tx.write(root, n.0).unwrap();
+        tx.commit().unwrap();
+        let n_addr = Addr(m.read_direct(&rt, root));
+        assert_eq!(m.read_direct(&rt, n_addr), 7);
+        assert_eq!(m.allocator().free_block_count(), 0);
+    }
+
+    #[test]
+    fn tx_free_deferred_to_commit() {
+        let (m, rt) = setup();
+        let blk = m.alloc_direct(2).unwrap();
+        {
+            let mut tx = m.begin(&rt);
+            tx.free(blk, 2);
+            let _ = tx.rollback(AbortCause::Conflict);
+        }
+        assert_eq!(m.allocator().free_block_count(), 0, "free dropped on abort");
+        {
+            let mut tx = m.begin(&rt);
+            tx.free(blk, 2);
+            // A free alone is a read-only commit.
+            tx.commit().unwrap();
+        }
+        assert_eq!(m.allocator().free_block_count(), 1);
+    }
+
+    #[test]
+    fn fresh_alloc_read_does_not_conflict() {
+        let (m, rt) = setup();
+        let mut tx = m.begin(&rt);
+        let n = tx.alloc(2).unwrap();
+        assert_eq!(tx.read(n).unwrap(), 0);
+        assert_eq!(tx.read(n + 1).unwrap(), 0);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_counts_abort_and_recycles() {
+        let (m, rt) = setup();
+        {
+            let mut tx = m.begin(&rt);
+            let _ = tx.alloc(4).unwrap();
+            // dropped here
+        }
+        assert_eq!(m.allocator().free_block_count(), 1);
+        assert!(m.stats().aborts() >= 1);
+    }
+
+    #[test]
+    fn footprint_reporting() {
+        let (m, rt) = setup();
+        let a = m.alloc_direct(4).unwrap();
+        let mut tx = m.begin(&rt);
+        tx.read(a).unwrap();
+        tx.read(a + 1).unwrap();
+        tx.write(a + 2, 1).unwrap();
+        assert_eq!(tx.read_footprint(), 2);
+        assert_eq!(tx.write_footprint(), 1);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        use std::sync::Arc;
+        let m = Arc::new(TMem::new(TMemConfig::default()));
+        let rt = Arc::new(RealRuntime::new());
+        let a = m.alloc_direct(1).unwrap();
+        let threads = 4;
+        let per = 250;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let m = m.clone();
+            let rt = rt.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    loop {
+                        let mut tx = m.begin(rt.as_ref());
+                        let body = (|| {
+                            let v = tx.read(a)?;
+                            tx.write(a, v + 1)
+                        })();
+                        match body {
+                            Ok(()) => {
+                                if tx.commit().is_ok() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                let _ = tx.rollback(AbortCause::Conflict);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read_direct(rt.as_ref(), a), (threads * per) as u64);
+    }
+}

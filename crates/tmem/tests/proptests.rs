@@ -1,0 +1,167 @@
+//! Property-based tests of the transactional-memory substrate.
+
+use proptest::prelude::*;
+
+use hcf_tmem::{AbortCause, Addr, RealRuntime, TMem, TMemConfig};
+
+const WORDS: usize = 64;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Read(u64),
+    Write(u64, u64),
+    DirectWrite(u64, u64),
+    BeginTx(Vec<(u64, u64)>, bool), // writes, commit?
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let addr = 0..WORDS as u64;
+    prop_oneof![
+        addr.clone().prop_map(Step::Read),
+        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Step::Write(a, v)),
+        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Step::DirectWrite(a, v)),
+        (
+            proptest::collection::vec((addr, any::<u64>()), 0..6),
+            any::<bool>()
+        )
+            .prop_map(|(ws, commit)| Step::BeginTx(ws, commit)),
+    ]
+}
+
+proptest! {
+    /// Single-threaded: the memory behaves exactly like a flat array —
+    /// committed transactional writes and direct writes apply, rolled
+    /// back ones do not, and reads always see the model value.
+    #[test]
+    fn sequential_equivalence(steps in proptest::collection::vec(step_strategy(), 1..80)) {
+        let mem = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let base = mem.alloc_direct(WORDS).unwrap();
+        let mut model = vec![0u64; WORDS];
+        let mut tx = None;
+        let mut tx_model: Vec<u64> = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Read(a) => {
+                    match &mut tx {
+                        Some(t) => {
+                            let got = hcf_tmem::Txn::read(t, base + a).unwrap();
+                            prop_assert_eq!(got, tx_model[a as usize]);
+                        }
+                        None => {
+                            prop_assert_eq!(mem.read_direct(&rt, base + a), model[a as usize]);
+                        }
+                    }
+                }
+                Step::Write(a, v) => {
+                    match &mut tx {
+                        Some(t) => {
+                            t.write(base + a, v).unwrap();
+                            tx_model[a as usize] = v;
+                        }
+                        None => {
+                            mem.write_direct(&rt, base + a, v);
+                            model[a as usize] = v;
+                        }
+                    }
+                }
+                Step::DirectWrite(a, v) => {
+                    if tx.is_none() {
+                        mem.write_direct(&rt, base + a, v);
+                        model[a as usize] = v;
+                    }
+                }
+                Step::BeginTx(writes, commit) => {
+                    // Finish any open transaction first (commit it).
+                    if let Some(t) = tx.take() {
+                        prop_assert!(t.commit().is_ok());
+                        model = tx_model.clone();
+                    }
+                    let mut t = mem.begin(&rt);
+                    let mut m = model.clone();
+                    for (a, v) in writes {
+                        t.write(base + a, v).unwrap();
+                        m[a as usize] = v;
+                    }
+                    if commit {
+                        tx = Some(t);
+                        tx_model = m;
+                    } else {
+                        let _ = t.rollback(AbortCause::Explicit(1));
+                        // model unchanged
+                    }
+                }
+            }
+        }
+        if let Some(t) = tx.take() {
+            prop_assert!(t.commit().is_ok());
+            model = tx_model.clone();
+        }
+        for a in 0..WORDS as u64 {
+            prop_assert_eq!(mem.read_direct(&rt, base + a), model[a as usize]);
+        }
+    }
+
+    /// Allocator: blocks handed out concurrently-ish never overlap and
+    /// recycling preserves disjointness.
+    #[test]
+    fn allocator_blocks_disjoint(ops in proptest::collection::vec((1usize..8, any::<bool>()), 1..100)) {
+        let mem = TMem::new(TMemConfig::default());
+        let mut live: Vec<(Addr, usize)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (a, w) = live.swap_remove(0);
+                mem.free_direct(a, w);
+            } else {
+                let a = mem.alloc_direct(size).unwrap();
+                // no overlap with any live block
+                for &(b, w) in &live {
+                    let disjoint = a.0 + size as u64 <= b.0 || b.0 + w as u64 <= a.0;
+                    prop_assert!(disjoint, "{a:?}+{size} overlaps {b:?}+{w}");
+                }
+                live.push((a, size));
+            }
+        }
+    }
+
+    /// A transaction that observed a value and commits guarantees no
+    /// direct write intervened (two-thread torture in miniature: we
+    /// interleave deterministically here, the real-thread version lives
+    /// in the unit tests).
+    #[test]
+    fn invalidation_is_complete(writes in proptest::collection::vec(0..WORDS as u64, 1..20)) {
+        let mem = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let base = mem.alloc_direct(WORDS).unwrap();
+        let mut tx = mem.begin(&rt);
+        // Read everything.
+        for a in 0..WORDS as u64 {
+            tx.read(base + a).unwrap();
+        }
+        tx.write(base, 1).unwrap();
+        // Any direct write to any read location must doom the commit.
+        for &a in &writes {
+            mem.write_direct(&rt, base + a, 99);
+        }
+        prop_assert!(tx.commit().is_err());
+    }
+
+    /// Capacity limits are enforced exactly at the configured line count.
+    #[test]
+    fn capacity_is_exact(cap in 1usize..16) {
+        let mem = TMem::new(TMemConfig {
+            words: 1 << 10,
+            words_per_line_log2: 0,
+            read_cap_lines: cap,
+            write_cap_lines: cap,
+        });
+        let rt = RealRuntime::new();
+        let base = mem.alloc_direct(32).unwrap();
+        let mut tx = mem.begin(&rt);
+        for i in 0..cap as u64 {
+            prop_assert!(tx.read(base + i).is_ok());
+        }
+        prop_assert_eq!(tx.read(base + cap as u64).unwrap_err(), AbortCause::Capacity);
+    }
+}

@@ -1,0 +1,66 @@
+//! The §3.4 AVL-set experiment in miniature: a skewed (Zipf θ = 0.9)
+//! workload where the hot keys conflict and combining + elimination pay
+//! off. Also demonstrates subtree-selective combining: the combiner only
+//! adopts operations on its own side of the root, read from the
+//! look-aside word.
+//!
+//! ```text
+//! cargo run --release --example avl_zipf [find_pct]
+//! ```
+
+use std::sync::Arc;
+
+use hcf_core::Variant;
+use hcf_ds::{AvlDs, AvlMode, AvlTree};
+use hcf_sim::driver::{run, SimConfig};
+use hcf_sim::workload::SetWorkload;
+use rand::prelude::*;
+
+fn main() {
+    let find_pct: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+
+    println!("AVL set, keys [0..1023], Zipf theta=0.9, {find_pct}% Contains");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}   HCF degree / abort rate",
+        "threads", "HCF", "TLE", "FC"
+    );
+    for &t in &[1usize, 4, 12, 24, 36] {
+        let mut row = format!("{t:>8}");
+        let mut extras = String::new();
+        for v in [Variant::Hcf, Variant::Tle, Variant::Fc] {
+            let cfg = SimConfig::new(t).with_duration(400_000);
+            let w = SetWorkload::new(1024, 0.9, find_pct);
+            let r = run(
+                &cfg,
+                v,
+                |ctx, th| {
+                    let tree = AvlTree::create(ctx)?;
+                    let mut rng = StdRng::seed_from_u64(9);
+                    let mut n = 0;
+                    while n < 512 {
+                        if tree.insert(ctx, rng.random_range(0..1024))? {
+                            n += 1;
+                        }
+                    }
+                    Ok((
+                        Arc::new(AvlDs::new(tree, AvlMode::Selective)),
+                        AvlDs::hcf_config(th, &AvlMode::Selective),
+                    ))
+                },
+                move |_tid, rng: &mut StdRng| w.op(rng),
+            );
+            row.push_str(&format!(" {:>10.0}", r.throughput()));
+            if v == Variant::Hcf {
+                extras = format!(
+                    "degree {:.2}, aborts {:.0}%",
+                    r.exec.avg_degree(),
+                    100.0 * r.exec.abort_rate()
+                );
+            }
+        }
+        println!("{row}   {extras}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Progress properties (§2.3): with starvation-free locks (our
+//! test-and-test-and-set spinlocks are not strictly fair, but the
+//! scenarios below bound the work), every operation completes —
+//! including operations stuck behind long combiner sessions, owners
+//! spinning in `BeingHelped`, and cross-array interleavings with
+//! specialized combiners.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hcf_core::{DataStructure, HcfConfig, HcfEngine, PhasePolicy, SelectPolicy};
+use hcf_tmem::{Addr, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
+
+/// Two hot words routed to two arrays; ops on array 0 are slow (long
+/// scans) so its combiner sessions are long.
+struct TwoHotSpots {
+    a: Addr,
+    b: Addr,
+    pad: Addr,
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    SlowAdd(u64),
+    FastAdd(u64),
+}
+
+impl DataStructure for TwoHotSpots {
+    type Op = Op;
+    type Res = u64;
+
+    fn num_arrays(&self) -> usize {
+        2
+    }
+
+    fn array_of(&self, op: &Op) -> usize {
+        match op {
+            Op::SlowAdd(_) => 0,
+            Op::FastAdd(_) => 1,
+        }
+    }
+
+    fn run_seq(&self, ctx: &mut dyn MemCtx, op: &Op) -> TxResult<u64> {
+        match *op {
+            Op::SlowAdd(d) => {
+                // Long read phase before the hot write.
+                // The reads have read-set side effects even though the
+                // pad is all zeroes.
+                let mut acc = 0;
+                for i in 0..64 {
+                    acc += ctx.read(self.pad + i)?;
+                }
+                debug_assert_eq!(acc, 0);
+                let v = ctx.read(self.a)?;
+                ctx.write(self.a, v + d)?;
+                Ok(v + d)
+            }
+            Op::FastAdd(d) => {
+                let v = ctx.read(self.b)?;
+                ctx.write(self.b, v + d)?;
+                Ok(v + d)
+            }
+        }
+    }
+}
+
+fn build(mem: &Arc<TMem>) -> Arc<TwoHotSpots> {
+    let rt = RealRuntime::new();
+    let mut ctx = hcf_tmem::DirectCtx::new(mem, &rt);
+    let a = ctx.alloc_line().unwrap();
+    let b = ctx.alloc_line().unwrap();
+    let pad = ctx.alloc(64).unwrap();
+    Arc::new(TwoHotSpots { a, b, pad })
+}
+
+/// A watchdog that fails the test if the workload wedges.
+fn with_deadline(name: &str, secs: u64, f: impl FnOnce() + Send) {
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = done.clone();
+    std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            f();
+            done2.store(true, Ordering::SeqCst);
+        });
+        let start = Instant::now();
+        while !done.load(Ordering::SeqCst) {
+            assert!(
+                start.elapsed() < Duration::from_secs(secs),
+                "{name}: no progress within {secs}s — possible deadlock/livelock"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn slow_combiners_do_not_starve_fast_array() {
+    let mem = Arc::new(TMem::new(TMemConfig::default()));
+    let rt = Arc::new(RealRuntime::new());
+    let ds = build(&mem);
+    let cfg = HcfConfig::new(8).with_default_policy(
+        PhasePolicy::combining_first(3)
+            .with_select(SelectPolicy::All)
+            .specialized(true),
+    );
+    let engine = Arc::new(HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap());
+    with_deadline("two-array specialized", 60, || {
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        if (t + i) % 2 == 0 {
+                            engine.execute(Op::SlowAdd(1));
+                        } else {
+                            engine.execute(Op::FastAdd(1));
+                        }
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(engine.stats().total_ops(), 1200);
+}
+
+#[test]
+fn zero_htm_budgets_complete_under_pure_locking() {
+    let mem = Arc::new(TMem::new(TMemConfig::default()));
+    let rt = Arc::new(RealRuntime::new());
+    let ds = build(&mem);
+    let cfg = HcfConfig::new(8).with_default_policy(PhasePolicy {
+        try_private: 0,
+        try_visible: 0,
+        try_combining: 0,
+        select: SelectPolicy::All,
+        specialized: true,
+    });
+    let engine = Arc::new(HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap());
+    with_deadline("all-lock specialized", 60, || {
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        if i % 2 == 0 {
+                            engine.execute(Op::SlowAdd(1));
+                        } else {
+                            engine.execute(Op::FastAdd(1));
+                        }
+                    }
+                });
+            }
+        });
+    });
+    let s = engine.stats();
+    assert_eq!(s.total_ops(), 1200);
+    assert_eq!(s.htm_attempts, 0);
+}
+
+#[test]
+fn mixed_policies_across_arrays_make_progress() {
+    let mem = Arc::new(TMem::new(TMemConfig::default()));
+    let rt = Arc::new(RealRuntime::new());
+    let ds = build(&mem);
+    // Array 0: FC-like. Array 1: TLE-like. Maximal asymmetry.
+    let cfg = HcfConfig::new(8)
+        .with_policy(0, PhasePolicy::fc_like())
+        .with_policy(1, PhasePolicy::tle_like(5));
+    let engine = Arc::new(HcfEngine::new(ds, mem.clone(), rt.clone(), cfg).unwrap());
+    with_deadline("asymmetric arrays", 60, || {
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let engine = engine.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        if (t * 7 + i) % 3 == 0 {
+                            engine.execute(Op::SlowAdd(1));
+                        } else {
+                            engine.execute(Op::FastAdd(1));
+                        }
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(engine.stats().total_ops(), 1200);
+}
