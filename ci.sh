@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md) plus the documentation build, all hermetic:
+# every step runs --offline and must pass from a clean checkout with no
+# crates.io access. docs/BUILD.md documents the rationale.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release, offline, workspace)"
+cargo build --release --offline --workspace
+
+echo "==> test (offline, workspace)"
+cargo test -q --offline --workspace
+
+echo "==> rustdoc (offline, warning-free)"
+RUSTDOCFLAGS="${RUSTDOCFLAGS:-} -D warnings" cargo doc --no-deps --offline --workspace
+
+echo "==> bench targets compile (criterion-bench feature)"
+cargo build --offline -p hcf-bench --benches --features criterion-bench
+
+echo "ci: OK"

@@ -23,7 +23,7 @@ use hcf_core::{AdaptiveConfig, AdaptiveEngine, HcfEngine, PhasePolicy, Variant};
 use hcf_ds::AvlMode;
 use hcf_sim::driver::{run_timeline, run_with};
 use hcf_sim::workload::SetWorkload;
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Mode {

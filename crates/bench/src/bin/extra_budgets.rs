@@ -14,7 +14,7 @@ use hcf_core::{PhasePolicy, SelectPolicy, Variant};
 use hcf_ds::hashtable::{ARRAY_INSERTS, ARRAY_READERS};
 use hcf_sim::driver::run;
 use hcf_sim::workload::MapWorkload;
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 const SPLITS: &[(u32, u32, u32)] = &[
     (10, 0, 0),

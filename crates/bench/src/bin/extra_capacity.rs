@@ -15,7 +15,7 @@ use hcf_bench::{sim_config, Csv};
 use hcf_core::{DataStructure, HcfConfig, Variant};
 use hcf_sim::driver::run;
 use hcf_tmem::{Addr, MemCtx, TMemConfig, TxResult};
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 /// Scan `footprint` words (line-spaced, so each costs a read-set line),
 /// then add into one of `slots` counters.

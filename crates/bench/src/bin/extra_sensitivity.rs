@@ -13,7 +13,7 @@ use hcf_core::Variant;
 use hcf_sim::driver::run;
 use hcf_sim::workload::MapWorkload;
 use hcf_sim::CostModel;
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 fn variant_tp(cost: CostModel, variant: Variant, threads: usize) -> f64 {
     let mut cfg = sim_config(threads);

@@ -14,7 +14,7 @@ use hcf_core::Variant;
 use hcf_ds::AvlMode;
 use hcf_sim::driver::run_seeds;
 use hcf_sim::workload::{MapWorkload, SetWorkload};
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 fn main() {
     let mut csv = Csv::new(

@@ -17,7 +17,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 use hcf_core::{HcfConfig, Variant};
 use hcf_ds::{AvlDs, AvlMode, AvlTree, HashTable, HashTableDs, SkipListPq, SkipListPqDs};

@@ -1,0 +1,258 @@
+//! An in-tree, zero-dependency stand-in for the `criterion` bench
+//! harness, so the repository's benches run in a hermetic offline
+//! build (`cargo bench --features criterion-bench`; see
+//! `docs/BUILD.md`).
+//!
+//! It implements the API subset the `hcf-bench` benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — with
+//! honest but simple statistics: for each benchmark it runs warm-up,
+//! then `sample_size` timed samples within the measurement window, and
+//! prints the min/median/mean time per iteration. It is **not** the
+//! crates.io `criterion` and makes no attempt at its outlier analysis,
+//! HTML reports, or regression baselines.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under the name criterion users
+/// expect.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies a parameterized benchmark as `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: first for the warm-up window, then
+    /// collecting timed samples until the measurement window or the
+    /// configured sample count is exhausted (whichever comes last for
+    /// at least one sample).
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std_black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() > self.measurement && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// The harness entry point; collects configuration and runs benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.to_string();
+        self.run_one(&label, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(label, &samples);
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed through to the
+    /// closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "bench {label:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Declares a group of benchmark targets, optionally with a custom
+/// [`Criterion`] configuration — same syntax as crates.io criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = fast_config();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_inputs_run() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -681,7 +681,7 @@ mod tests {
 
     #[test]
     fn matches_btreeset_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let t = AvlTree::create(&mut ctx).unwrap();
@@ -736,7 +736,7 @@ mod tests {
 
     #[test]
     fn run_multi_matches_sequential_semantics() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let mut rng = StdRng::seed_from_u64(99);

@@ -332,7 +332,7 @@ mod tests {
 
     #[test]
     fn matches_vecdeque_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let d = Deque::create(&mut ctx).unwrap();
@@ -401,7 +401,7 @@ mod tests {
 
     #[test]
     fn run_multi_matches_sequential_replay() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let mut rng = StdRng::seed_from_u64(17);

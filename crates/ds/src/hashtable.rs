@@ -528,7 +528,7 @@ mod tests {
 
     #[test]
     fn matches_std_hashmap_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let t = HashTable::create(&mut ctx, 64).unwrap();

@@ -341,7 +341,7 @@ mod tests {
 
     #[test]
     fn matches_vecdeque_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let q = Queue::create(&mut ctx).unwrap();

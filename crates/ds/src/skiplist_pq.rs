@@ -404,7 +404,7 @@ mod tests {
 
     #[test]
     fn invariants_hold_on_random_workload() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let pq = SkipListPq::create(&mut ctx).unwrap();

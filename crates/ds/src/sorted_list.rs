@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn matches_btreeset_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let l = SortedList::create(&mut ctx).unwrap();
@@ -388,7 +388,7 @@ mod tests {
 
     #[test]
     fn sweep_matches_sorted_replay() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let mut rng = StdRng::seed_from_u64(22);

@@ -216,7 +216,7 @@ mod tests {
 
     #[test]
     fn matches_vec_on_random_ops() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let s = Stack::create(&mut ctx).unwrap();
@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn run_multi_matches_sequential_replay() {
-        use rand::prelude::*;
+        use hcf_util::rng::*;
         let (m, rt) = setup();
         let mut ctx = DirectCtx::new(&m, &rt);
         let mut rng = StdRng::seed_from_u64(23);

@@ -1,7 +1,11 @@
 //! Property-based tests: every data structure against its `std` model,
-//! including the combining `run_multi` paths, with proptest shrinking.
+//! including the combining `run_multi` paths, with `proptest_lite`
+//! shrinking (halving sizes, failure-seed reporting).
 
-use proptest::prelude::*;
+use hcf_util::ptest::{
+    any_bool, btree_set_of, one_of, option_of, tuple2, u64s, u8s, usizes, vec_of, Gen,
+};
+use hcf_util::{prop_assert, prop_assert_eq, proptest_lite};
 
 use hcf_core::DataStructure;
 use hcf_ds::*;
@@ -22,21 +26,24 @@ enum MapStep {
     InsertN(Vec<(u64, u64)>),
 }
 
-fn map_step() -> impl Strategy<Value = MapStep> {
-    let key = 0..48u64;
-    prop_oneof![
-        (key.clone(), 0..1000u64).prop_map(|(k, v)| MapStep::Insert(k, v)),
-        key.clone().prop_map(MapStep::Remove),
-        key.clone().prop_map(MapStep::Find),
-        proptest::collection::vec((key, 0..1000u64), 1..6).prop_map(MapStep::InsertN),
-    ]
+fn map_step() -> Gen<MapStep> {
+    let key = || u64s(0..48);
+    one_of(vec![
+        tuple2(key(), u64s(0..1000)).map(|(k, v)| MapStep::Insert(k, v)),
+        key().map(MapStep::Remove),
+        key().map(MapStep::Find),
+        vec_of(tuple2(key(), u64s(0..1000)), 1..6).map(MapStep::InsertN),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn set_op() -> Gen<(u8, u64)> {
+    tuple2(u8s(0..3), u64s(0..32))
+}
 
-    #[test]
-    fn hashtable_matches_model(steps in proptest::collection::vec(map_step(), 1..120)) {
+proptest_lite! {
+    cases = 64;
+
+    fn hashtable_matches_model(steps in vec_of(map_step(), 1..120)) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
         let t = HashTable::create(&mut ctx, 8).unwrap();
@@ -64,8 +71,7 @@ proptest! {
         prop_assert_eq!(t.len(&mut ctx).unwrap(), model.len() as u64);
     }
 
-    #[test]
-    fn avl_matches_model(ops in proptest::collection::vec((0u8..3, 0..40u64), 1..200)) {
+    fn avl_matches_model(ops in vec_of(tuple2(u8s(0..3), u64s(0..40)), 1..200)) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
         let t = AvlTree::create(&mut ctx).unwrap();
@@ -83,10 +89,9 @@ proptest! {
 
     /// The combined/eliminated AVL `run_multi` is equivalent to replaying
     /// the batch in sorted-by-key order (its chosen linearization).
-    #[test]
     fn avl_run_multi_equiv(
-        prefill in proptest::collection::btree_set(0..32u64, 0..16),
-        batch in proptest::collection::vec((0u8..3, 0..32u64), 1..12),
+        prefill in btree_set_of(u64s(0..32), 0..16),
+        batch in vec_of(set_op(), 1..12),
     ) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
@@ -124,8 +129,7 @@ proptest! {
         prop_assert!(dsa.tree().check_invariants(&mut ctx).unwrap());
     }
 
-    #[test]
-    fn pq_matches_model(ops in proptest::collection::vec((any::<bool>(), 0..64u64), 1..150)) {
+    fn pq_matches_model(ops in vec_of(tuple2(any_bool(), u64s(0..64)), 1..150)) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
         let pq = SkipListPq::create(&mut ctx).unwrap();
@@ -149,10 +153,9 @@ proptest! {
     }
 
     /// Stack and deque elimination `run_multi` both equal in-order replay.
-    #[test]
     fn stack_run_multi_equiv(
-        prefill in proptest::collection::vec(1000..2000u64, 0..5),
-        batch in proptest::collection::vec(proptest::option::of(0..100u64), 1..15),
+        prefill in vec_of(u64s(1000..2000), 0..5),
+        batch in vec_of(option_of(u64s(0..100)), 1..15),
     ) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
@@ -185,11 +188,10 @@ proptest! {
         );
     }
 
-    #[test]
     fn deque_run_multi_equiv(
-        prefill in proptest::collection::vec(1000..2000u64, 0..5),
-        batch in proptest::collection::vec(proptest::option::of(0..100u64), 1..15),
-        left in any::<bool>(),
+        prefill in vec_of(u64s(1000..2000), 0..5),
+        batch in vec_of(option_of(u64s(0..100)), 1..15),
+        left in any_bool(),
     ) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
@@ -224,13 +226,8 @@ proptest! {
         );
         prop_assert!(dsa.deque().check_invariants(&mut ctx).unwrap());
     }
-}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn queue_matches_model(ops in proptest::collection::vec(proptest::option::of(0..1000u64), 1..150)) {
+    fn queue_matches_model(ops in vec_of(option_of(u64s(0..1000)), 1..150)) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
         let q = Queue::create(&mut ctx).unwrap();
@@ -254,11 +251,10 @@ proptest! {
     }
 
     /// Batch operations are equivalent to their singleton expansions.
-    #[test]
     fn queue_batches_equiv(
-        prefill in proptest::collection::vec(0..100u64, 0..8),
-        batch in proptest::collection::vec(0..100u64, 0..8),
-        take in 0usize..12,
+        prefill in vec_of(u64s(0..100), 0..8),
+        batch in vec_of(u64s(0..100), 0..8),
+        take in usizes(0..12),
     ) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
@@ -278,13 +274,8 @@ proptest! {
         prop_assert_eq!(a.collect(&mut ctx).unwrap(), b.collect(&mut ctx).unwrap());
         prop_assert!(a.check_invariants(&mut ctx).unwrap());
     }
-}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sorted_list_matches_model(ops in proptest::collection::vec((0u8..3, 0..32u64), 1..150)) {
+    fn sorted_list_matches_model(ops in vec_of(set_op(), 1..150)) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);
         let l = SortedList::create(&mut ctx).unwrap();
@@ -301,10 +292,9 @@ proptest! {
     }
 
     /// The single-sweep batch application equals sorted-order replay.
-    #[test]
     fn sorted_list_sweep_equiv(
-        prefill in proptest::collection::btree_set(0..24u64, 0..12),
-        batch in proptest::collection::vec((0u8..3, 0..24u64), 1..14),
+        prefill in btree_set_of(u64s(0..24), 0..12),
+        batch in vec_of(tuple2(u8s(0..3), u64s(0..24)), 1..14),
     ) {
         let (m, rt) = mem();
         let mut ctx = DirectCtx::new(&m, &rt);

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use parking_lot::Mutex;
+use hcf_util::sync::Mutex;
 
 /// Lifecycle of an announced operation (§2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

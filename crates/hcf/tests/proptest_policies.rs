@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use hcf_util::ptest::{any_bool, just, one_of, tuple2, tuple5, u32s, u64s, vec_of, Gen};
+use hcf_util::{prop_assert_eq, proptest_lite};
 
 use hcf_core::{DataStructure, HcfConfig, HcfEngine, PhasePolicy, SelectPolicy};
 use hcf_tmem::{Addr, DirectCtx, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
@@ -48,43 +49,42 @@ impl DataStructure for Regs {
     }
 }
 
-fn policy_strategy() -> impl Strategy<Value = PhasePolicy> {
-    (
-        0u32..4,
-        0u32..4,
-        0u32..4,
-        prop_oneof![
-            Just(SelectPolicy::OwnOnly),
-            Just(SelectPolicy::All),
-            Just(SelectPolicy::ShouldHelp)
-        ],
-        any::<bool>(),
+fn policy_strategy() -> Gen<PhasePolicy> {
+    tuple5(
+        u32s(0..4),
+        u32s(0..4),
+        u32s(0..4),
+        one_of(vec![
+            just(SelectPolicy::OwnOnly),
+            just(SelectPolicy::All),
+            just(SelectPolicy::ShouldHelp),
+        ]),
+        any_bool(),
     )
-        .prop_map(|(p, v, c, select, specialized)| PhasePolicy {
-            try_private: p,
-            try_visible: v,
-            try_combining: c,
-            select,
-            specialized,
-        })
+    .map(|(p, v, c, select, specialized)| PhasePolicy {
+        try_private: p,
+        try_visible: v,
+        try_combining: c,
+        select,
+        specialized,
+    })
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..4u64, 1..100u64).prop_map(|(s, d)| Op::Add(s, d)),
-        (0..4u64).prop_map(Op::Read),
-    ]
+fn op_strategy() -> Gen<Op> {
+    one_of(vec![
+        tuple2(u64s(0..4), u64s(1..100)).map(|(s, d)| Op::Add(s, d)),
+        u64s(0..4).map(Op::Read),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+proptest_lite! {
+    cases = 48;
 
     /// Sequential execution through any policy equals direct execution.
-    #[test]
     fn any_policy_is_sequentially_correct(
         pol0 in policy_strategy(),
         pol1 in policy_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 1..60),
+        ops in vec_of(op_strategy(), 1..60),
     ) {
         let mem = Arc::new(TMem::new(TMemConfig::small_word_granular()));
         let rt = Arc::new(RealRuntime::new());
@@ -109,7 +109,6 @@ proptest! {
     }
 
     /// Concurrent execution through any policy keeps exact counts.
-    #[test]
     fn any_policy_is_concurrently_exact(
         pol0 in policy_strategy(),
         pol1 in policy_strategy(),

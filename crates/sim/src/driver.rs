@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 use hcf_core::{DataStructure, ExecStatsSnapshot, HcfConfig, Variant};
 use hcf_tmem::runtime::{MemAccessStats, Runtime};

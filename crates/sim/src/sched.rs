@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use parking_lot::{Condvar, Mutex};
+use hcf_util::sync::{Condvar, Mutex};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum TState {

@@ -1,45 +1,12 @@
 //! Workload generators for the paper's experiments.
 
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 use hcf_ds::{DequeOp, MapOp, PqOp, SetOp, StackOp};
 
-/// A Zipfian sampler over `0..n` with skew `theta` in `[0, 1)`: weight of
-/// rank `i` is `1 / (i + 1)^theta`, so lower keys are hotter (the paper's
-/// §3.4 parameterization; `theta = 0` is uniform).
-#[derive(Clone, Debug)]
-pub struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    /// Builds the sampler (O(n) precomputation).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `n > 0` and `0 <= theta < 1`.
-    pub fn new(n: u64, theta: f64) -> Self {
-        assert!(n > 0);
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
-        let mut cdf = Vec::with_capacity(n as usize);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / ((i + 1) as f64).powf(theta);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
-    }
-
-    /// Draws a sample.
-    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
-        let u: f64 = rng.random();
-        self.cdf.partition_point(|&c| c < u) as u64
-    }
-}
+// The Zipfian sampler lives in `hcf-util` (shared with the benches and
+// examples); re-exported here so workload call sites keep their paths.
+pub use hcf_util::dist::Zipf;
 
 /// The §3.3 hash-table workload: `find_pct`% Find, the rest split evenly
 /// between Insert and Remove, keys uniform in `0..key_range`.
@@ -55,7 +22,7 @@ impl MapWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> MapOp {
         let k = rng.random_range(0..self.key_range);
-        let roll = rng.random_range(0..100);
+        let roll = rng.random_range(0..100u32);
         if roll < self.find_pct {
             MapOp::Find(k)
         } else if roll % 2 == 0 {
@@ -87,7 +54,7 @@ impl SetWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> SetOp {
         let k = self.zipf.sample(rng);
-        let roll = rng.random_range(0..100);
+        let roll = rng.random_range(0..100u32);
         if roll < self.find_pct {
             SetOp::Contains(k)
         } else if roll % 2 == 0 {
@@ -111,7 +78,7 @@ pub struct PqWorkload {
 impl PqWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> PqOp {
-        if rng.random_range(0..100) < self.insert_pct {
+        if rng.random_range(0..100u32) < self.insert_pct {
             PqOp::Insert(rng.random_range(0..self.key_range), rng.random())
         } else {
             PqOp::RemoveMin
@@ -129,7 +96,7 @@ pub struct StackWorkload {
 impl StackWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> StackOp {
-        if rng.random_range(0..100) < self.push_pct {
+        if rng.random_range(0..100u32) < self.push_pct {
             StackOp::Push(rng.random())
         } else {
             StackOp::Pop
@@ -163,7 +130,7 @@ pub struct QueueWorkload {
 impl QueueWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> hcf_ds::QueueOp {
-        if rng.random_range(0..100) < self.enqueue_pct {
+        if rng.random_range(0..100u32) < self.enqueue_pct {
             hcf_ds::QueueOp::Enqueue(rng.random())
         } else {
             hcf_ds::QueueOp::Dequeue
@@ -185,7 +152,7 @@ impl ListWorkload {
     /// Draws one operation.
     pub fn op(&self, rng: &mut impl Rng) -> hcf_ds::ListOp {
         let k = rng.random_range(0..self.key_range);
-        let roll = rng.random_range(0..100);
+        let roll = rng.random_range(0..100u32);
         if roll < self.find_pct {
             hcf_ds::ListOp::Contains(k)
         } else if roll % 2 == 0 {

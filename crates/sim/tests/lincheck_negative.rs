@@ -10,8 +10,8 @@ use hcf_core::{DataStructure, Executor, ExecStatsSnapshot, HcfConfig, HcfEngine}
 use hcf_sim::lincheck::{check_linearizable, OpSpan, SeqSpec};
 use hcf_sim::{CostModel, LockstepRuntime, Topology};
 use hcf_tmem::{Addr, DirectCtx, MemCtx, RealRuntime, Runtime, TMem, TMemConfig, TxResult};
-use parking_lot::Mutex;
-use rand::prelude::*;
+use hcf_util::sync::Mutex;
+use hcf_util::rng::*;
 
 /// A register with fetch-and-add semantics.
 struct Reg {

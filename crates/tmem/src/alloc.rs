@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use hcf_util::sync::Mutex;
 
 use crate::addr::Addr;
 use crate::error::{AbortCause, TxResult};

@@ -18,7 +18,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use hcf_util::sync::Mutex;
 
 /// The kind of a memory access, for cost accounting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

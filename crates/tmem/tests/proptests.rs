@@ -1,6 +1,8 @@
-//! Property-based tests of the transactional-memory substrate.
+//! Property-based tests of the transactional-memory substrate, on the
+//! `proptest_lite` harness (seeded cases, halving shrink).
 
-use proptest::prelude::*;
+use hcf_util::ptest::{any_bool, any_u64, one_of, tuple2, u64s, usizes, vec_of, Gen};
+use hcf_util::{prop_assert, prop_assert_eq, proptest_lite};
 
 use hcf_tmem::{AbortCause, Addr, RealRuntime, TMem, TMemConfig};
 
@@ -14,26 +16,24 @@ enum Step {
     BeginTx(Vec<(u64, u64)>, bool), // writes, commit?
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    let addr = 0..WORDS as u64;
-    prop_oneof![
-        addr.clone().prop_map(Step::Read),
-        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Step::Write(a, v)),
-        (addr.clone(), any::<u64>()).prop_map(|(a, v)| Step::DirectWrite(a, v)),
-        (
-            proptest::collection::vec((addr, any::<u64>()), 0..6),
-            any::<bool>()
-        )
-            .prop_map(|(ws, commit)| Step::BeginTx(ws, commit)),
-    ]
+fn step_strategy() -> Gen<Step> {
+    let addr = || u64s(0..WORDS as u64);
+    one_of(vec![
+        addr().map(Step::Read),
+        tuple2(addr(), any_u64()).map(|(a, v)| Step::Write(a, v)),
+        tuple2(addr(), any_u64()).map(|(a, v)| Step::DirectWrite(a, v)),
+        tuple2(vec_of(tuple2(addr(), any_u64()), 0..6), any_bool())
+            .map(|(ws, commit)| Step::BeginTx(ws, commit)),
+    ])
 }
 
-proptest! {
+proptest_lite! {
+    cases = 256;
+
     /// Single-threaded: the memory behaves exactly like a flat array —
     /// committed transactional writes and direct writes apply, rolled
     /// back ones do not, and reads always see the model value.
-    #[test]
-    fn sequential_equivalence(steps in proptest::collection::vec(step_strategy(), 1..80)) {
+    fn sequential_equivalence(steps in vec_of(step_strategy(), 1..80)) {
         let mem = TMem::new(TMemConfig::small_word_granular());
         let rt = RealRuntime::new();
         let base = mem.alloc_direct(WORDS).unwrap();
@@ -105,8 +105,7 @@ proptest! {
 
     /// Allocator: blocks handed out concurrently-ish never overlap and
     /// recycling preserves disjointness.
-    #[test]
-    fn allocator_blocks_disjoint(ops in proptest::collection::vec((1usize..8, any::<bool>()), 1..100)) {
+    fn allocator_blocks_disjoint(ops in vec_of(tuple2(usizes(1..8), any_bool()), 1..100)) {
         let mem = TMem::new(TMemConfig::default());
         let mut live: Vec<(Addr, usize)> = Vec::new();
         for (size, free_one) in ops {
@@ -129,8 +128,7 @@ proptest! {
     /// direct write intervened (two-thread torture in miniature: we
     /// interleave deterministically here, the real-thread version lives
     /// in the unit tests).
-    #[test]
-    fn invalidation_is_complete(writes in proptest::collection::vec(0..WORDS as u64, 1..20)) {
+    fn invalidation_is_complete(writes in vec_of(u64s(0..WORDS as u64), 1..20)) {
         let mem = TMem::new(TMemConfig::small_word_granular());
         let rt = RealRuntime::new();
         let base = mem.alloc_direct(WORDS).unwrap();
@@ -148,8 +146,7 @@ proptest! {
     }
 
     /// Capacity limits are enforced exactly at the configured line count.
-    #[test]
-    fn capacity_is_exact(cap in 1usize..16) {
+    fn capacity_is_exact(cap in usizes(1..16)) {
         let mem = TMem::new(TMemConfig {
             words: 1 << 10,
             words_per_line_log2: 0,

@@ -1,0 +1,121 @@
+//! Workload samplers: the Zipfian and uniform key distributions the
+//! paper's experiments draw from (§3.3–3.4 parameterizations).
+
+use crate::rng::Rng;
+
+/// A Zipfian sampler over `0..n` with skew `theta` in `[0, 1)`: weight
+/// of rank `i` is `1 / (i + 1)^theta`, so lower keys are hotter (the
+/// paper's §3.4 parameterization; `theta = 0` is uniform).
+///
+/// Sampling is by binary search over a precomputed CDF, so each draw
+/// consumes exactly one `f64` from the generator — which keeps
+/// workloads bit-for-bit reproducible across runs and platforms.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler (O(n) precomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 0` and `0 <= theta < 1`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a sample in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// A uniform sampler over `lo..hi`, the degenerate-skew counterpart of
+/// [`Zipf`] (handy where a workload struct wants a named sampler value
+/// rather than an inline `random_range` call).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: u64,
+    hi: u64,
+}
+
+impl Uniform {
+    /// Builds a sampler over `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        Uniform { lo, hi }
+    }
+
+    /// Draws a sample in `lo..hi`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        rng.random_range(self.lo..self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_favors_low_keys() {
+        let z = Zipf::new(1024, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 32 {
+                low += 1;
+            }
+        }
+        assert!(low > 3000, "only {low}/10000 in the hot set");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let u = Uniform::new(5, 9);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!((5..9).contains(&u.sample(&mut rng)));
+        }
+    }
+}

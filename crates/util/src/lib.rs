@@ -1,0 +1,27 @@
+//! # hcf-util — dependency-free building blocks
+//!
+//! Everything the HCF reproduction previously pulled from crates.io
+//! that the offline tier-1 gate cannot fetch, reimplemented over the
+//! standard library (see `docs/BUILD.md` for the hermeticity
+//! rationale):
+//!
+//! * [`rng`] — seedable, deterministic PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256pp`]) with a `rand`-shaped sampling API, so the
+//!   figures are reproducible bit-for-bit from a seed.
+//! * [`dist`] — the Zipfian and uniform key samplers the paper's
+//!   workloads draw from.
+//! * [`sync`] — `parking_lot`-shaped shims ([`sync::Mutex`],
+//!   [`sync::Condvar`], [`sync::SpinMutex`]) over `std::sync`.
+//! * [`ptest`] — the `proptest_lite` property-testing harness: seeded
+//!   case generation, shrinking by halving, failure-seed reporting.
+//!
+//! The crate deliberately has **zero dependencies** and denies missing
+//! docs on its public API.
+
+#![deny(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod dist;
+pub mod ptest;
+pub mod rng;
+pub mod sync;

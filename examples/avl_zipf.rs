@@ -14,7 +14,7 @@ use hcf_core::Variant;
 use hcf_ds::{AvlDs, AvlMode, AvlTree};
 use hcf_sim::driver::{run, SimConfig};
 use hcf_sim::workload::SetWorkload;
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 fn main() {
     let find_pct: u32 = std::env::args()

@@ -16,7 +16,7 @@ use hcf_ds::{HashTable, HashTableDs};
 use hcf_sim::driver::{run, SimConfig};
 use hcf_sim::workload::MapWorkload;
 use hcf_tmem::TMemConfig;
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -13,7 +13,7 @@ use hcf_sim::driver::SimConfig;
 use hcf_sim::lincheck::{check_linearizable, record_history, SeqSpec};
 use hcf_sim::CostModel;
 use hcf_tmem::{MemCtx, TMemConfig, TxResult};
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 struct MapSpec(BTreeMap<u64, u64>);

@@ -9,7 +9,7 @@ use hcf_ds::{AvlDs, AvlMode, AvlTree, HashTable, HashTableDs};
 use hcf_sim::driver::{run, SimConfig};
 use hcf_sim::workload::{MapWorkload, SetWorkload};
 use hcf_tmem::{MemCtx, TMemConfig, TxResult};
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 const KEYS: u64 = 1024;
 

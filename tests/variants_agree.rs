@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use hcf_core::{DataStructure, HcfConfig, Variant};
 use hcf_tmem::{DirectCtx, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
-use rand::prelude::*;
+use hcf_util::rng::*;
 
 /// Runs `ops` through `variant` on a fresh instance built by `build`,
 /// returning per-op results and the final collected contents.
