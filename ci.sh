@@ -17,4 +17,20 @@ RUSTDOCFLAGS="${RUSTDOCFLAGS:-} -D warnings" cargo doc --no-deps --offline --wor
 echo "==> bench targets compile (criterion-bench feature)"
 cargo build --offline -p hcf-bench --benches --features criterion-bench
 
+echo "==> sim suite under the txsan sanitizer feature"
+cargo test -q --offline -p hcf-sim --features txsan
+
+echo "==> sanitizer: replay checker, negative (seeded-bug) and full-run tests"
+cargo test -q --offline -p san
+
+echo "==> hcf-lint (source access discipline; see docs/SANITIZER.md)"
+cargo run -q --offline -p san --bin hcf-lint
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "==> clippy (workspace, -D warnings)"
+  cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+  echo "==> clippy not installed; skipping"
+fi
+
 echo "ci: OK"

@@ -59,13 +59,17 @@ impl Bencher<'_> {
     /// configured sample count is exhausted (whichever comes last for
     /// at least one sample).
     pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // A bench harness measures wall time by definition; this crate is
+        // never linked into simulated runs.
+        // hcf-lint: allow(no-wall-clock)
         let warm_end = Instant::now() + self.warm_up;
+        // hcf-lint: allow(no-wall-clock)
         while Instant::now() < warm_end {
             std_black_box(routine());
         }
-        let measure_start = Instant::now();
+        let measure_start = Instant::now(); // hcf-lint: allow(no-wall-clock)
         for _ in 0..self.sample_size.max(1) {
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // hcf-lint: allow(no-wall-clock)
             std_black_box(routine());
             self.samples.push(t0.elapsed());
             if measure_start.elapsed() > self.measurement && !self.samples.is_empty() {

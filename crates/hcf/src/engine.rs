@@ -130,6 +130,10 @@ impl<D: DataStructure> HcfEngine<D> {
     ) -> TxResult<Self> {
         let n = ds.num_arrays().max(1);
         let lock = ElidableLock::new(mem.clone())?;
+        // The ds lock is the fallback lock of §2.1: every phase's
+        // transactions subscribe to it, which the sanitizer verifies.
+        #[cfg(feature = "txsan")]
+        lock.mark_fallback();
         let mut arrays = Vec::with_capacity(n);
         let mut policies = Vec::with_capacity(n);
         for a in 0..n {

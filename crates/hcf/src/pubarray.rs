@@ -38,6 +38,14 @@ impl PubArray {
         let stride = mem.config().words_per_line() as u64;
         let slots = mem.alloc_line_direct(max_threads * stride as usize)?;
         let selection = ElidableLock::new(mem.clone())?;
+        #[cfg(feature = "txsan")]
+        for tid in 0..max_threads {
+            hcf_tmem::san::log(hcf_tmem::san::SanEvent::SlotRegistered {
+                slot: (slots + tid as u64 * stride).0,
+                owner: tid as u64,
+                sel_lock: selection.word().0,
+            });
+        }
         Ok(PubArray {
             mem,
             slots,

@@ -46,6 +46,9 @@ pub struct OpRecord<Op, Res> {
     pub op: Op,
     status: AtomicU8,
     result: Mutex<Option<Res>>,
+    /// Sanitizer identity of this record (see `hcf_tmem::san`).
+    #[cfg(feature = "txsan")]
+    san_id: u64,
 }
 
 impl<Op, Res> OpRecord<Op, Res> {
@@ -55,6 +58,8 @@ impl<Op, Res> OpRecord<Op, Res> {
             op,
             status: AtomicU8::new(OpStatus::Unannounced as u8),
             result: Mutex::new(None),
+            #[cfg(feature = "txsan")]
+            san_id: hcf_tmem::san::fresh_id(),
         }
     }
 
@@ -65,7 +70,8 @@ impl<Op, Res> OpRecord<Op, Res> {
     }
 
     /// Transitions to a new status. Only the transitions of §2.2 are
-    /// legal; debug builds check them.
+    /// legal; debug builds check them, and under `txsan` every transition
+    /// is logged for the replay checker.
     pub fn set_status(&self, s: OpStatus) {
         if cfg!(debug_assertions) {
             let cur = self.status();
@@ -78,6 +84,26 @@ impl<Op, Res> OpRecord<Op, Res> {
             );
             debug_assert!(ok, "illegal status transition {cur:?} -> {s:?}");
         }
+        #[cfg(feature = "txsan")]
+        hcf_tmem::san::log(hcf_tmem::san::SanEvent::RecTransition {
+            rec: self.san_id,
+            from: self.status.load(Ordering::Acquire) as u64,
+            to: s as u64,
+        });
+        self.status.store(s as u8, Ordering::Release);
+    }
+
+    /// Fault-injection hook for the sanitizer's negative tests: stores an
+    /// arbitrary status, bypassing the legality debug-assert, while still
+    /// logging the transition. The replay checker must flag the illegal
+    /// edge.
+    #[cfg(feature = "txsan")]
+    pub fn force_status(&self, s: OpStatus) {
+        hcf_tmem::san::log(hcf_tmem::san::SanEvent::RecTransition {
+            rec: self.san_id,
+            from: self.status.load(Ordering::Acquire) as u64,
+            to: s as u64,
+        });
         self.status.store(s as u8, Ordering::Release);
     }
 

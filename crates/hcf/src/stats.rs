@@ -117,6 +117,16 @@ impl ExecStats {
     }
 
     /// Snapshot of all counters.
+    ///
+    /// Memory-ordering note: every counter is an independent monotonic
+    /// `fetch_add(1, Relaxed)`; nothing synchronizes *through* them, so
+    /// `Relaxed` loads are sufficient here. End-of-run snapshots are
+    /// exact because the driver joins the worker threads first (the join
+    /// provides the happens-before edge). Mid-run snapshots (timeline
+    /// sampling) may tear *across* counters — e.g. observe a `commit`
+    /// whose `attempt` increment is not yet visible — so every derived
+    /// metric that subtracts one counter from another must saturate; see
+    /// [`ArrayStatsSnapshot::abort_rate`].
     pub fn snapshot(&self) -> ExecStatsSnapshot {
         ExecStatsSnapshot {
             arrays: self
@@ -175,11 +185,15 @@ impl ArrayStatsSnapshot {
     }
 
     /// Speculative abort rate on this array, in `[0, 1]`.
+    ///
+    /// Saturates: a mid-run snapshot taken with relaxed loads can observe
+    /// a commit before the attempt that produced it (see
+    /// [`ExecStats::snapshot`]), making `commits > attempts` transiently.
     pub fn abort_rate(&self) -> f64 {
         if self.attempts == 0 {
             0.0
         } else {
-            (self.attempts - self.commits) as f64 / self.attempts as f64
+            self.attempts.saturating_sub(self.commits) as f64 / self.attempts as f64
         }
     }
 
@@ -241,11 +255,13 @@ impl ExecStatsSnapshot {
     }
 
     /// Speculative abort rate in `[0, 1]`.
+    ///
+    /// Saturates for the same reason as [`ArrayStatsSnapshot::abort_rate`].
     pub fn abort_rate(&self) -> f64 {
         if self.htm_attempts == 0 {
             0.0
         } else {
-            (self.htm_attempts - self.htm_commits) as f64 / self.htm_attempts as f64
+            self.htm_attempts.saturating_sub(self.htm_commits) as f64 / self.htm_attempts as f64
         }
     }
 }

@@ -1,0 +1,52 @@
+//! hcf-lint: scan the workspace sources for access-discipline violations.
+//!
+//! Usage: `cargo run -q -p san --bin hcf-lint [--] [ROOT]`
+//!
+//! `ROOT` defaults to the workspace root (found by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`).
+//! Prints one `path:line: [rule] message` per finding and exits non-zero
+//! if any were found. Rules and suppression syntax: see
+//! `docs/SANITIZER.md` or the `san::lint` module docs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--")
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let findings = match san::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hcf-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("hcf-lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hcf-lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

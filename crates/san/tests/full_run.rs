@@ -1,0 +1,81 @@
+//! Positive end-to-end check: a contended simulated workload on the
+//! *unmodified* engine must come out of the replay checker clean. Runs in
+//! per-access lockstep (`CostModel::exact()`), where ring order equals
+//! execution order, so the checker's verdict is sound — see the
+//! `san::replay` module docs.
+
+use hcf_core::Variant;
+use hcf_ds::{HashTable, HashTableDs, MapOp};
+use hcf_sim::{run_sanitized, CostModel, MapWorkload, SimConfig};
+use hcf_tmem::{MemCtx, TxResult};
+use hcf_util::rng::StdRng;
+use hcf_util::sync::Mutex;
+use san::replay;
+use std::sync::Arc;
+
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+fn sanitized_cfg(threads: usize, duration: u64) -> SimConfig {
+    let mut c = SimConfig::new(threads);
+    c.cost = CostModel::exact();
+    c.duration = duration;
+    c
+}
+
+fn build_table(
+    ctx: &mut dyn MemCtx,
+    threads: usize,
+) -> TxResult<(Arc<HashTableDs>, hcf_core::HcfConfig)> {
+    let t = HashTable::create(ctx, 64)?;
+    for k in 0..32 {
+        t.insert(ctx, k * 2, k)?;
+    }
+    Ok((Arc::new(HashTableDs::new(t)), HashTableDs::hcf_config(threads)))
+}
+
+/// Small key range + update-heavy mix: forces conflicts, aborts, lock
+/// fallbacks and combining, so the log exercises every event kind.
+fn contended_gen(find_pct: u32) -> impl Fn(usize, &mut StdRng) -> MapOp + Send + Sync {
+    let w = MapWorkload {
+        key_range: 64,
+        find_pct,
+    };
+    move |_tid, rng| w.op(rng)
+}
+
+#[test]
+fn contended_hcf_run_is_certified_clean() {
+    let _gate = SESSION_GATE.lock();
+    let (result, log) = run_sanitized(
+        &sanitized_cfg(3, 60_000),
+        Variant::Hcf,
+        build_table,
+        contended_gen(40),
+    );
+    assert!(result.total_ops > 0, "workload ran no operations");
+    assert_eq!(log.dropped, 0, "event ring overflowed; grow the capacity");
+
+    let report = replay::check(&log);
+    assert!(report.ok(), "unmodified engine must be clean:\n{report}");
+    assert!(
+        report.txns_committed > 0,
+        "sanitizer saw no commits — instrumentation dead? {report}"
+    );
+}
+
+#[test]
+fn every_variant_is_certified_clean() {
+    let _gate = SESSION_GATE.lock();
+    for v in Variant::ALL {
+        let (result, log) = run_sanitized(
+            &sanitized_cfg(2, 20_000),
+            v,
+            build_table,
+            contended_gen(60),
+        );
+        assert!(result.total_ops > 0, "{v}: workload ran no operations");
+        assert_eq!(log.dropped, 0, "{v}: event ring overflowed");
+        let report = replay::check(&log);
+        assert!(report.ok(), "{v}: unmodified engine must be clean:\n{report}");
+    }
+}

@@ -202,6 +202,40 @@ where
     }
 }
 
+/// Runs one measurement with the transactional sanitizer attached and
+/// returns the event log next to the result.
+///
+/// The session opens before the memory is created (so allocation-time
+/// stores are part of the log) and closes after every simulated thread has
+/// joined. For the replay checker's strict, total-order interpretation to
+/// be sound the execution must be serialized — pass a [`CostModel`] with
+/// `sync_quantum == 1` ([`CostModel::exact`]), which makes ring order equal
+/// execution order under the lockstep scheduler.
+///
+/// # Panics
+///
+/// Panics if setup fails or if another sanitizer session is active.
+#[cfg(feature = "txsan")]
+pub fn run_sanitized<D, B, G>(
+    cfg: &SimConfig,
+    variant: Variant,
+    build: B,
+    gen: G,
+) -> (RunResult, hcf_tmem::san::SanLog)
+where
+    D: DataStructure,
+    B: FnOnce(&mut dyn MemCtx, usize) -> TxResult<(Arc<D>, HcfConfig)>,
+    G: Fn(usize, &mut StdRng) -> D::Op + Send + Sync,
+{
+    assert_eq!(
+        cfg.cost.sync_quantum, 1,
+        "sanitized runs need per-access lockstep (CostModel::exact)"
+    );
+    let session = hcf_tmem::san::SanSession::start();
+    let result = run(cfg, variant, build, gen);
+    (result, session.finish())
+}
+
 /// A [`run`] that additionally buckets completed operations by virtual
 /// time, exposing throughput *within* a run — e.g. to watch the adaptive
 /// controller converge.

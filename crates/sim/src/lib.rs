@@ -36,6 +36,8 @@ pub mod topology;
 pub mod workload;
 
 pub use cost::CostModel;
+#[cfg(feature = "txsan")]
+pub use driver::run_sanitized;
 pub use driver::{run, run_seeds, run_timeline, run_with, MultiRunResult, RunResult, SimConfig};
 pub use runtime::LockstepRuntime;
 pub use sched::LockstepScheduler;

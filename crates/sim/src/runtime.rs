@@ -307,12 +307,12 @@ mod tests {
     #[test]
     fn threads_get_their_sim_ids() {
         let rt = runtime(3);
-        let ids = std::sync::Mutex::new(Vec::new());
+        let ids = hcf_util::sync::Mutex::new(Vec::new());
         rt.run_threads(|tid| {
             assert_eq!(rt.thread_id(), tid);
-            ids.lock().unwrap().push(tid);
+            ids.lock().push(tid);
         });
-        let mut ids = ids.into_inner().unwrap();
+        let mut ids = ids.into_inner();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2]);
     }
@@ -416,14 +416,14 @@ mod tests {
     fn deterministic_interleaving() {
         let run = || {
             let rt = runtime(4);
-            let trace = std::sync::Mutex::new(Vec::new());
+            let trace = hcf_util::sync::Mutex::new(Vec::new());
             rt.run_threads(|tid| {
                 for i in 0..20u64 {
                     rt.mem_access((tid * 7 + i as usize) % 64, AccessKind::Write);
-                    trace.lock().unwrap().push((tid, rt.now()));
+                    trace.lock().push((tid, rt.now()));
                 }
             });
-            trace.into_inner().unwrap()
+            trace.into_inner()
         };
         assert_eq!(run(), run());
     }

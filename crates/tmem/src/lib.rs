@@ -80,6 +80,7 @@ pub mod lock;
 pub mod mem;
 pub mod orec;
 pub mod runtime;
+pub mod san;
 pub mod stats;
 pub mod txn;
 

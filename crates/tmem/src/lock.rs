@@ -35,7 +35,25 @@ impl ElidableLock {
     /// Propagates pool exhaustion.
     pub fn new(mem: Arc<TMem>) -> crate::error::TxResult<Self> {
         let word = mem.alloc_line_direct(1)?;
+        #[cfg(feature = "txsan")]
+        crate::san::log(crate::san::SanEvent::LockRegistered {
+            word: word.0,
+            fallback: 0,
+        });
         Ok(ElidableLock { mem, word })
+    }
+
+    /// Declares this lock to the sanitizer as a *fallback* lock: every
+    /// update transaction on the protected data must subscribe to it, and
+    /// none may commit while another thread holds it. The HCF engine marks
+    /// its data-structure lock; locks that merely serialize combiner
+    /// selection are not marked.
+    #[cfg(feature = "txsan")]
+    pub fn mark_fallback(&self) {
+        crate::san::log(crate::san::SanEvent::LockRegistered {
+            word: self.word.0,
+            fallback: 1,
+        });
     }
 
     /// The lock word's address (for subscription).
@@ -62,6 +80,14 @@ impl ElidableLock {
             }
             rt.yield_now();
         }
+        // The held window starts at the successful CAS (before the
+        // quiesce): commits racing the drain are exactly what the
+        // sanitizer must see as inside the window.
+        #[cfg(feature = "txsan")]
+        crate::san::log(crate::san::SanEvent::LockAcquired {
+            tid: rt.thread_id() as u64,
+            word: self.word.0,
+        });
         self.mem.quiesce(rt);
     }
 
@@ -72,6 +98,11 @@ impl ElidableLock {
         if self.mem.read_direct(rt, self.word) == 0
             && self.mem.cas_direct(rt, self.word, 0, tag).is_ok()
         {
+            #[cfg(feature = "txsan")]
+            crate::san::log(crate::san::SanEvent::LockAcquired {
+                tid: rt.thread_id() as u64,
+                word: self.word.0,
+            });
             self.mem.quiesce(rt);
             true
         } else {
@@ -91,6 +122,11 @@ impl ElidableLock {
             "unlock by non-holder"
         );
         self.mem.write_direct(rt, self.word, 0);
+        #[cfg(feature = "txsan")]
+        crate::san::log(crate::san::SanEvent::LockReleased {
+            tid: rt.thread_id() as u64,
+            word: self.word.0,
+        });
     }
 
     /// Runs `f` with the lock held.

@@ -126,6 +126,37 @@ impl TMem {
         let wv = self.bump_clock();
         debug_assert!(wv > old.version());
         self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        // Guarded: when dormant the hook must not evaluate `thread_id()`
+        // (the real runtime assigns dense ids on first touch, and the
+        // sanitizer must not perturb that order).
+        #[cfg(feature = "txsan")]
+        if crate::san::enabled() {
+            crate::san::log(crate::san::SanEvent::DirectWrite {
+                tid: rt.thread_id() as u64,
+                addr: addr.0,
+                value,
+                wv,
+            });
+        }
+    }
+
+    /// Fault-injection hook for the sanitizer's negative tests: stores
+    /// `value` **without** locking the line's orec or bumping its version,
+    /// so in-flight readers of the line do not abort — a torn write. The
+    /// store is still logged, which is how the replay checker proves it
+    /// breaks serializability.
+    #[cfg(feature = "txsan")]
+    pub fn torn_write_direct(&self, rt: &dyn Runtime, addr: Addr, value: u64) {
+        rt.mem_access(self.line_of(addr), AccessKind::Write);
+        self.word(addr).store(value, Ordering::SeqCst);
+        if crate::san::enabled() {
+            crate::san::log(crate::san::SanEvent::DirectWrite {
+                tid: rt.thread_id() as u64,
+                addr: addr.0,
+                value,
+                wv: 0,
+            });
+        }
     }
 
     /// Non-transactional compare-and-swap on a word. On success the line
@@ -150,6 +181,16 @@ impl TMem {
         self.word(addr).store(new, Ordering::SeqCst);
         let wv = self.bump_clock();
         self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        // Guarded like `write_direct`: no `thread_id()` while dormant.
+        #[cfg(feature = "txsan")]
+        if crate::san::enabled() {
+            crate::san::log(crate::san::SanEvent::DirectWrite {
+                tid: rt.thread_id() as u64,
+                addr: addr.0,
+                value: new,
+                wv,
+            });
+        }
         Ok(())
     }
 
@@ -208,6 +249,13 @@ impl TMem {
             self.word(a + i).store(0, Ordering::SeqCst);
             let wv = self.bump_clock();
             self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+            #[cfg(feature = "txsan")]
+            crate::san::log(crate::san::SanEvent::DirectWrite {
+                tid: crate::san::TID_NONE,
+                addr: (a + i).0,
+                value: 0,
+                wv,
+            });
         }
         Ok(a)
     }
@@ -218,6 +266,13 @@ impl TMem {
         let a = self.alloc.alloc_aligned(words, self.cfg.words_per_line())?;
         for i in 0..words as u64 {
             self.word(a + i).store(0, Ordering::SeqCst);
+            #[cfg(feature = "txsan")]
+            crate::san::log(crate::san::SanEvent::DirectWrite {
+                tid: crate::san::TID_NONE,
+                addr: (a + i).0,
+                value: 0,
+                wv: 0,
+            });
         }
         Ok(a)
     }

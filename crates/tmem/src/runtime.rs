@@ -123,7 +123,9 @@ impl RealRuntime {
     /// order threads first touch the runtime.
     pub fn new() -> Self {
         RealRuntime {
-            start: Instant::now(),
+            // RealRuntime's whole point is timing real threads on real
+            // hardware; only the lockstep runtime is deterministic.
+            start: Instant::now(), // hcf-lint: allow(no-wall-clock)
             next_id: AtomicUsize::new(0),
             ids: Mutex::new(HashMap::new()),
             accesses: AtomicU64::new(0),

@@ -101,6 +101,15 @@ impl TxStats {
     }
 
     /// Takes a snapshot of all counters.
+    ///
+    /// Memory-ordering note: all counters are independent monotonic
+    /// `fetch_add(1, Relaxed)` — no code synchronizes through them, so
+    /// relaxed loads suffice. End-of-run snapshots are exact (the caller
+    /// joins worker threads first, which orders all their increments
+    /// before the loads); concurrent snapshots may tear across counters
+    /// but every derived metric here ([`TxStatsSnapshot::aborts`],
+    /// [`TxStatsSnapshot::commit_ratio`]) only *adds* counters, so a torn
+    /// snapshot can under-count but never underflow.
     pub fn snapshot(&self) -> TxStatsSnapshot {
         TxStatsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),

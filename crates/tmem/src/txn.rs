@@ -36,22 +36,49 @@ pub struct Txn<'m> {
     frees: Vec<(Addr, usize)>,
     poisoned: Option<AbortCause>,
     finished: bool,
+    /// Sanitizer identity of this transaction (see [`crate::san`]).
+    #[cfg(feature = "txsan")]
+    san_id: u64,
 }
 
 impl<'m> Txn<'m> {
     pub(crate) fn new(mem: &'m TMem, rt: &'m dyn Runtime) -> Self {
         rt.tx_event(TxEvent::Begin);
+        let rv = mem.clock();
+        #[cfg(feature = "txsan")]
+        let san_id = crate::san::fresh_id();
+        // When dormant the hook must not even *evaluate* `thread_id()`:
+        // `RealRuntime` assigns dense ids on first touch, and perturbing
+        // that order would change uninstrumented behavior.
+        #[cfg(feature = "txsan")]
+        if crate::san::enabled() {
+            crate::san::log(crate::san::SanEvent::TxBegin {
+                txid: san_id,
+                tid: rt.thread_id() as u64,
+                rv,
+            });
+        }
         Txn {
             mem,
             rt,
-            rv: mem.clock(),
+            rv,
             reads: HashMap::new(),
             writes: HashMap::new(),
             allocs: Vec::new(),
             frees: Vec::new(),
             poisoned: None,
             finished: false,
+            #[cfg(feature = "txsan")]
+            san_id,
         }
+    }
+
+    #[cfg(feature = "txsan")]
+    fn san_abort(&self, cause: AbortCause) {
+        crate::san::log(crate::san::SanEvent::TxAborted {
+            txid: self.san_id,
+            cause: crate::san::encode_cause(cause),
+        });
     }
 
     fn poison(&mut self, cause: AbortCause) -> AbortCause {
@@ -120,6 +147,14 @@ impl<'m> Txn<'m> {
                 self.reads.insert(line, o1.raw());
             }
         }
+        #[cfg(feature = "txsan")]
+        crate::san::log(crate::san::SanEvent::TxRead {
+            txid: self.san_id,
+            addr: addr.0,
+            value: v,
+            orec: o1.raw(),
+            line: line as u64,
+        });
         Ok(v)
     }
 
@@ -142,6 +177,12 @@ impl<'m> Txn<'m> {
             }
         }
         self.writes.insert(addr.0, value);
+        #[cfg(feature = "txsan")]
+        crate::san::log(crate::san::SanEvent::TxWrite {
+            txid: self.san_id,
+            addr: addr.0,
+            value,
+        });
         Ok(())
     }
 
@@ -223,6 +264,8 @@ impl<'m> Txn<'m> {
     /// pool.
     pub fn commit(mut self) -> Result<(), AbortCause> {
         if let Some(c) = self.poisoned {
+            #[cfg(feature = "txsan")]
+            self.san_abort(c);
             self.rollback_internal();
             return Err(c);
         }
@@ -234,6 +277,17 @@ impl<'m> Txn<'m> {
             // `rv`; nothing to publish.
             self.finished = true;
             self.mem.stats_ref().record_commit();
+            // Guarded: `thread_id()` must not be evaluated while dormant
+            // (it assigns ids on the real runtime).
+            #[cfg(feature = "txsan")]
+            if crate::san::enabled() {
+                crate::san::log(crate::san::SanEvent::TxCommitted {
+                    txid: self.san_id,
+                    tid: self.rt.thread_id() as u64,
+                    wv: 0,
+                    n_writes: 0,
+                });
+            }
             self.execute_frees();
             return Ok(());
         }
@@ -273,6 +327,8 @@ impl<'m> Txn<'m> {
                 }
                 self.rt.tx_event(TxEvent::Abort);
                 self.mem.stats_ref().record_abort(AbortCause::Conflict);
+                #[cfg(feature = "txsan")]
+                self.san_abort(AbortCause::Conflict);
                 self.rollback_internal();
                 return Err(AbortCause::Conflict);
             }
@@ -299,6 +355,8 @@ impl<'m> Txn<'m> {
                 self.mem.writeback_exit();
                 self.rt.tx_event(TxEvent::Abort);
                 self.mem.stats_ref().record_abort(AbortCause::Conflict);
+                #[cfg(feature = "txsan")]
+                self.san_abort(AbortCause::Conflict);
                 self.rollback_internal();
                 return Err(AbortCause::Conflict);
             }
@@ -314,6 +372,26 @@ impl<'m> Txn<'m> {
         }
         self.mem.writeback_exit();
 
+        // Guarded: `thread_id()` must not be evaluated while dormant (it
+        // assigns ids on the real runtime).
+        #[cfg(feature = "txsan")]
+        if crate::san::enabled() {
+            for (&addr, &val) in &self.writes {
+                crate::san::log(crate::san::SanEvent::TxCommitWrite {
+                    txid: self.san_id,
+                    addr,
+                    value: val,
+                    wv,
+                });
+            }
+            crate::san::log(crate::san::SanEvent::TxCommitted {
+                txid: self.san_id,
+                tid: self.rt.thread_id() as u64,
+                wv,
+                n_writes: self.writes.len() as u64,
+            });
+        }
+
         self.finished = true;
         self.mem.stats_ref().record_commit();
         self.execute_frees();
@@ -327,6 +405,8 @@ impl<'m> Txn<'m> {
         let cause = self.poisoned.unwrap_or(default_cause);
         self.rt.tx_event(TxEvent::Abort);
         self.mem.stats_ref().record_abort(cause);
+        #[cfg(feature = "txsan")]
+        self.san_abort(cause);
         self.rollback_internal();
         cause
     }
@@ -369,6 +449,8 @@ impl Drop for Txn<'_> {
             self.mem
                 .stats_ref()
                 .record_abort(self.poisoned.unwrap_or(AbortCause::Conflict));
+            #[cfg(feature = "txsan")]
+            self.san_abort(self.poisoned.unwrap_or(AbortCause::Conflict));
             self.rollback_internal();
         }
     }

@@ -33,10 +33,14 @@ pub const MAX_SIZE: u32 = 100;
 /// `cases = N;` in the macro, or globally with `HCF_PTEST_CASES`).
 pub const DEFAULT_CASES: u32 = 256;
 
+/// The boxed generator function inside a [`Gen`]: a pure function of the
+/// case RNG and the current shrink size.
+type GenFn<T> = Rc<dyn Fn(&mut StdRng, u32) -> T>;
+
 /// A generator of test inputs: a pure function of the case RNG and the
 /// current shrink size.
 pub struct Gen<T> {
-    f: Rc<dyn Fn(&mut StdRng, u32) -> T>,
+    f: GenFn<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -411,7 +415,7 @@ mod tests {
 
         fn macro_generated_test_runs(x in u64s(5..50), flip in any_bool()) {
             prop_assert!((5..50).contains(&x));
-            prop_assert_eq!(flip || !flip, true);
+            prop_assert!(u64::from(flip) <= 1);
         }
     }
 }

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use hcf_core::{Executor, HcfEngine};
 use hcf_ds::{PqOp, SkipListPq, SkipListPqDs};
 use hcf_tmem::{DirectCtx, RealRuntime, TMem, TMemConfig};
-use std::sync::Mutex;
+use hcf_util::sync::Mutex;
 
 fn main() {
     let mem = Arc::new(TMem::new(TMemConfig::default().with_words(1 << 21)));
@@ -59,12 +59,12 @@ fn main() {
                         local.push(k);
                     }
                 }
-                removed.lock().unwrap().extend(local);
+                removed.lock().extend(local);
             });
         }
     });
 
-    let mut removed = removed.into_inner().unwrap();
+    let mut removed = removed.into_inner();
     let mut remaining: Vec<u64> = {
         let mut ctx = DirectCtx::new(&mem, rt.as_ref());
         pq.collect(&mut ctx)

@@ -81,7 +81,7 @@ fn hashtable_exact_counts_under_contention() {
 
 #[test]
 fn stack_conserves_values() {
-    use std::sync::Mutex;
+    use hcf_util::sync::Mutex;
     for v in Variant::ALL {
         let popped = Mutex::new(Vec::<u64>::new());
         let mem = Arc::new(TMem::new(TMemConfig::default().with_words(1 << 20)));
@@ -109,11 +109,11 @@ fn stack_conserves_values() {
                             local.push(x);
                         }
                     }
-                    popped.lock().unwrap().extend(local);
+                    popped.lock().extend(local);
                 });
             }
         });
-        let mut all = popped.into_inner().unwrap();
+        let mut all = popped.into_inner();
         let mut ctx = DirectCtx::new(&mem, rt.as_ref());
         all.extend(ds.stack().collect(&mut ctx).unwrap());
         all.sort_unstable();
