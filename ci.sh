@@ -14,6 +14,10 @@ cargo test -q --offline --workspace
 echo "==> rustdoc (offline, warning-free)"
 RUSTDOCFLAGS="${RUSTDOCFLAGS:-} -D warnings" cargo doc --no-deps --offline --workspace
 
+echo "==> native mode: real-thread smoke tests + wall-clock bench (--smoke)"
+cargo test -q --offline --test native_smoke
+cargo run -q --release --offline -p hcf-bench --bin native -- --smoke
+
 echo "==> bench targets compile (criterion-bench feature)"
 cargo build --offline -p hcf-bench --benches --features criterion-bench
 

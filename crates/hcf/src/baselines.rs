@@ -145,12 +145,12 @@ impl<D: DataStructure> TleExecutor<D> {
 
 impl<D: DataStructure> Executor<D> for TleExecutor<D> {
     fn execute(&self, op: D::Op) -> D::Res {
-        for _ in 0..self.attempts {
+        for attempt in 0..self.attempts {
             if let Some(res) = self.try_htm(&op) {
                 self.stats.completed(0, Phase::Private);
                 return res;
             }
-            self.rt.yield_now();
+            self.rt.backoff(attempt);
         }
         let res = self.run_locked(&op);
         self.stats.completed(0, Phase::Lock);
@@ -246,7 +246,7 @@ impl<D: DataStructure> Executor<D> for ScmExecutor<D> {
                         self.aux.lock(rt);
                         aux_held = true;
                     }
-                    rt.yield_now();
+                    rt.backoff(attempt);
                 }
             }
         }

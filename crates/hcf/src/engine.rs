@@ -229,7 +229,7 @@ impl<D: DataStructure> HcfEngine<D> {
     }
 
     fn try_private(&self, rec: &Rec<D>, aid: usize, pol: &PhasePolicy) -> Option<D::Res> {
-        for _ in 0..pol.try_private {
+        for attempt in 0..pol.try_private {
             self.stats.attempt(aid);
             let mut tx = self.mem.begin(self.rt.as_ref());
             let body = {
@@ -258,7 +258,7 @@ impl<D: DataStructure> HcfEngine<D> {
                     }
                 }
             }
-            self.rt.yield_now();
+            self.rt.backoff(attempt);
         }
         None
     }
@@ -272,7 +272,7 @@ impl<D: DataStructure> HcfEngine<D> {
     ) -> VisibleOutcome<D::Res> {
         let pa = &self.arrays[aid];
         let slot = pa.slot(tid);
-        for _ in 0..pol.try_visible {
+        for attempt in 0..pol.try_visible {
             if rec.status() != OpStatus::Announced {
                 return VisibleOutcome::Helped;
             }
@@ -322,7 +322,7 @@ impl<D: DataStructure> HcfEngine<D> {
                     }
                 }
             }
-            self.rt.yield_now();
+            self.rt.backoff(attempt);
         }
         VisibleOutcome::Exhausted
     }
@@ -370,7 +370,7 @@ impl<D: DataStructure> HcfEngine<D> {
                         if !c.is_transient() {
                             break;
                         }
-                        rt.yield_now();
+                        rt.backoff(attempts);
                     }
                 },
                 Err(c) => {
@@ -379,7 +379,7 @@ impl<D: DataStructure> HcfEngine<D> {
                     if !c.is_transient() {
                         break;
                     }
-                    rt.yield_now();
+                    rt.backoff(attempts);
                 }
             }
         }
@@ -502,8 +502,10 @@ impl<D: DataStructure> HcfEngine<D> {
     /// result. (§2.2: "the owner waits for the combiner to complete the
     /// operation by spinning on the status field".)
     fn await_result(&self, rec: &Rec<D>, tid: usize) -> D::Res {
+        let mut attempt = 0u32;
         while rec.status() != OpStatus::Done {
-            self.rt.yield_now();
+            self.rt.backoff(attempt);
+            attempt = attempt.saturating_add(1);
         }
         self.clear_registry(tid);
         rec.take_result()

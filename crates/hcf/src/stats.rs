@@ -126,7 +126,10 @@ impl ExecStats {
     /// sampling) may tear *across* counters — e.g. observe a `commit`
     /// whose `attempt` increment is not yet visible — so every derived
     /// metric that subtracts one counter from another must saturate; see
-    /// [`ArrayStatsSnapshot::abort_rate`].
+    /// [`ArrayStatsSnapshot::abort_rate`]. The native driver (`hcf-sim`'s
+    /// `native` module) reports only end-of-run snapshots and probes
+    /// progress through its own per-thread counters, so its watchdog never
+    /// depends on cross-counter consistency.
     pub fn snapshot(&self) -> ExecStatsSnapshot {
         ExecStatsSnapshot {
             arrays: self

@@ -23,6 +23,11 @@
 //! Reported throughput is operations per virtual second; absolute values
 //! are model artifacts, but *relative* comparisons across variants and
 //! thread counts — the content of the paper's figures — are meaningful.
+//!
+//! The [`native`] module is the lockstep driver's wall-clock twin: the
+//! same builders and workloads on real `std::thread` workers over
+//! [`RealRuntime`](hcf_tmem::RealRuntime), with a livelock watchdog,
+//! latency percentiles, and optional history recording for [`lincheck`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +35,7 @@
 pub mod cost;
 pub mod driver;
 pub mod lincheck;
+pub mod native;
 pub mod runtime;
 pub mod sched;
 pub mod topology;
@@ -39,6 +45,10 @@ pub use cost::CostModel;
 #[cfg(feature = "txsan")]
 pub use driver::run_sanitized;
 pub use driver::{run, run_seeds, run_timeline, run_with, MultiRunResult, RunResult, SimConfig};
+pub use native::{
+    run_native, run_native_with, LatencyStats, NativeConfig, NativeError, NativeHistory,
+    NativeRunResult,
+};
 pub use runtime::LockstepRuntime;
 pub use sched::LockstepScheduler;
 pub use topology::Topology;

@@ -90,6 +90,6 @@ pub use ctx::{DirectCtx, MemCtx, TxCtx};
 pub use error::{AbortCause, TxResult};
 pub use lock::ElidableLock;
 pub use mem::TMem;
-pub use runtime::{AccessKind, RealRuntime, Runtime, TxEvent};
+pub use runtime::{AccessKind, RealRuntime, Runtime, ThreadSlot, TxEvent};
 pub use stats::TxStats;
 pub use txn::Txn;

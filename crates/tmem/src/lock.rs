@@ -72,13 +72,15 @@ impl ElidableLock {
     /// direct access safely.
     pub fn lock(&self, rt: &dyn Runtime) {
         let tag = rt.thread_id() as u64 + 1;
+        let mut attempt = 0u32;
         loop {
             if self.mem.read_direct(rt, self.word) == 0
                 && self.mem.cas_direct(rt, self.word, 0, tag).is_ok()
             {
                 break;
             }
-            rt.yield_now();
+            rt.backoff(attempt);
+            attempt = attempt.saturating_add(1);
         }
         // The held window starts at the successful CAS (before the
         // quiesce): commits racing the drain are exactly what the

@@ -228,8 +228,10 @@ impl TMem {
     /// direct reads observe a consistent memory (all later transactions
     /// fail validation against the bumped lock word).
     pub fn quiesce(&self, rt: &dyn Runtime) {
+        let mut attempt = 0u32;
         while self.writeback_active.load(Ordering::SeqCst) != 0 {
-            rt.yield_now();
+            rt.backoff(attempt);
+            attempt = attempt.saturating_add(1);
         }
     }
 

@@ -13,9 +13,12 @@
 //!   code then reproduces the paper's 36/72-thread scaling figures on a
 //!   single physical core.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hcf_util::sync::Mutex;
@@ -84,6 +87,19 @@ pub trait Runtime: Send + Sync {
     /// time so spinners do not starve the simulation.
     fn yield_now(&self);
 
+    /// Cooperative pause after the `attempt`-th consecutive failed try of
+    /// a spin loop (0-based). Spin loops call this instead of
+    /// [`yield_now`](Runtime::yield_now) so each runtime can pick a waiting
+    /// strategy: the default forwards to `yield_now` — which keeps the
+    /// deterministic lockstep schedule (and therefore every figure output)
+    /// unchanged — while [`RealRuntime`] overrides it with bounded
+    /// exponential backoff, preventing livelock when many OS threads spin
+    /// on few cores.
+    fn backoff(&self, attempt: u32) {
+        let _ = attempt;
+        self.yield_now();
+    }
+
     /// Current time. Nanoseconds of wall time for the real runtime, virtual
     /// cycles for the lockstep runtime.
     fn now(&self) -> u64;
@@ -106,12 +122,49 @@ pub trait Runtime: Send + Sync {
     }
 }
 
+/// Monotonically increasing token distinguishing [`RealRuntime`]
+/// instances, so the per-thread id cache cannot leak an id across
+/// runtimes. Starts at 1; token 0 marks an empty cache slot.
+static RUNTIME_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(runtime token, dense id)` of the most recent [`RealRuntime`] this
+    /// thread resolved its id against. A matching token answers
+    /// [`RealRuntime::thread_id`] without touching the shared registry —
+    /// which is called on every operation and used to take a global mutex
+    /// each time.
+    static CACHED_ID: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// Thread-id bookkeeping behind [`RealRuntime`]: the live assignments plus
+/// a free list so ids vacated by exited (unregistered) threads are reused
+/// instead of growing past an engine's `max_threads` bound.
+#[derive(Debug, Default)]
+struct IdRegistry {
+    map: HashMap<std::thread::ThreadId, usize>,
+    free: Vec<usize>,
+    /// High-water mark: the next never-used id.
+    next: usize,
+}
+
+impl IdRegistry {
+    fn assign(&mut self, t: std::thread::ThreadId) -> usize {
+        let id = self.free.pop().unwrap_or_else(|| {
+            let id = self.next;
+            self.next += 1;
+            id
+        });
+        self.map.insert(t, id);
+        id
+    }
+}
+
 /// Pass-through runtime for ordinary execution: threads run freely, time is
 /// wall time, and per-access cost hooks only bump counters.
 pub struct RealRuntime {
     start: Instant,
-    next_id: AtomicUsize,
-    ids: Mutex<HashMap<std::thread::ThreadId, usize>>,
+    token: u64,
+    ids: Mutex<IdRegistry>,
     accesses: AtomicU64,
     begins: AtomicU64,
     commits: AtomicU64,
@@ -120,14 +173,14 @@ pub struct RealRuntime {
 
 impl RealRuntime {
     /// Creates a new real runtime. Thread ids are assigned densely in the
-    /// order threads first touch the runtime.
+    /// order threads first touch the runtime (or explicitly register).
     pub fn new() -> Self {
         RealRuntime {
             // RealRuntime's whole point is timing real threads on real
             // hardware; only the lockstep runtime is deterministic.
             start: Instant::now(), // hcf-lint: allow(no-wall-clock)
-            next_id: AtomicUsize::new(0),
-            ids: Mutex::new(HashMap::new()),
+            token: RUNTIME_TOKEN.fetch_add(1, Ordering::Relaxed),
+            ids: Mutex::new(IdRegistry::default()),
             accesses: AtomicU64::new(0),
             begins: AtomicU64::new(0),
             commits: AtomicU64::new(0),
@@ -148,6 +201,86 @@ impl RealRuntime {
     pub fn access_count(&self) -> u64 {
         self.accesses.load(Ordering::Relaxed)
     }
+
+    /// Explicitly registers the calling thread, returning a guard that
+    /// releases its dense id (for reuse by later threads) on drop.
+    ///
+    /// Threads that merely call [`Runtime::thread_id`] are registered
+    /// implicitly and *never* unregistered — acceptable for a fixed worker
+    /// set, but any thread churn (a pool respawning workers, short-lived
+    /// helper threads) would then grow ids without bound and eventually
+    /// trip an engine's `tid < max_threads` check. Churning callers must
+    /// hold a [`ThreadSlot`] for the thread's lifetime instead. If the
+    /// thread already has an id (implicit or from an earlier guard), the
+    /// guard adopts it rather than allocating a second one.
+    pub fn register(self: &Arc<Self>) -> ThreadSlot {
+        let thread = std::thread::current().id();
+        let id = {
+            let mut ids = self.ids.lock();
+            match ids.map.get(&thread) {
+                Some(&id) => id,
+                None => ids.assign(thread),
+            }
+        };
+        CACHED_ID.set((self.token, id));
+        ThreadSlot {
+            rt: Arc::clone(self),
+            id,
+            thread,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn thread_id_slow(&self) -> usize {
+        let thread = std::thread::current().id();
+        let mut ids = self.ids.lock();
+        let id = match ids.map.get(&thread) {
+            Some(&id) => id,
+            None => ids.assign(thread),
+        };
+        drop(ids);
+        CACHED_ID.set((self.token, id));
+        id
+    }
+}
+
+/// RAII registration of one thread with one [`RealRuntime`] (see
+/// [`RealRuntime::register`]). Dropping the guard returns the dense id to
+/// the runtime's free list. Deliberately `!Send`: it must be dropped on
+/// the thread it registered, both because the id belongs to that thread
+/// and so the drop can invalidate the thread-local id cache.
+pub struct ThreadSlot {
+    rt: Arc<RealRuntime>,
+    id: usize,
+    thread: std::thread::ThreadId,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ThreadSlot {
+    /// The dense id this guard holds.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        let mut ids = self.rt.ids.lock();
+        if ids.map.remove(&self.thread) == Some(self.id) {
+            ids.free.push(self.id);
+        }
+        drop(ids);
+        if CACHED_ID.get() == (self.rt.token, self.id) {
+            CACHED_ID.set((0, 0));
+        }
+    }
+}
+
+impl fmt::Debug for ThreadSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadSlot").field("id", &self.id).finish()
+    }
 }
 
 impl Default for RealRuntime {
@@ -159,7 +292,7 @@ impl Default for RealRuntime {
 impl fmt::Debug for RealRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RealRuntime")
-            .field("threads", &self.next_id.load(Ordering::Relaxed))
+            .field("threads", &self.ids.lock().next)
             .field("accesses", &self.accesses.load(Ordering::Relaxed))
             .finish()
     }
@@ -167,20 +300,36 @@ impl fmt::Debug for RealRuntime {
 
 impl Runtime for RealRuntime {
     fn thread_id(&self) -> usize {
-        let tid = std::thread::current().id();
-        let mut ids = self.ids.lock();
-        if let Some(&id) = ids.get(&tid) {
+        // Hot path: one thread-local read. The registry mutex is only
+        // taken the first time a thread touches this runtime.
+        let (token, id) = CACHED_ID.get();
+        if token == self.token {
             return id;
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        ids.insert(tid, id);
-        id
+        self.thread_id_slow()
     }
 
     fn advance(&self, _cycles: u64) {}
 
     fn yield_now(&self) {
         std::thread::yield_now();
+    }
+
+    fn backoff(&self, attempt: u32) {
+        // Bounded exponential backoff: a few cheap busy-spins while the
+        // wait is likely short, then scheduler yields, then brief sleeps
+        // so persistent spinners (e.g. an owner waiting on its combiner)
+        // cannot monopolize a core when threads outnumber cores.
+        if attempt < 4 {
+            for _ in 0..(1u32 << attempt) {
+                std::hint::spin_loop();
+            }
+        } else if attempt < 20 {
+            std::thread::yield_now();
+        } else {
+            let micros = 1u64 << (attempt - 20).min(6); // 1 µs .. 64 µs
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
     }
 
     fn now(&self) -> u64 {
@@ -198,6 +347,19 @@ impl Runtime for RealRuntime {
             TxEvent::Abort => &self.aborts,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `RealRuntime` counts accesses but does not model coherence, so it
+    /// reports every access as a hit. This keeps
+    /// `mem_stats().total() == access_count()` — diagnostics that print
+    /// either number agree — at the cost of the hit/miss split being
+    /// meaningless here (only the lockstep runtime tracks ownership).
+    fn mem_stats(&self) -> MemAccessStats {
+        MemAccessStats {
+            hits: self.accesses.load(Ordering::Relaxed),
+            local_misses: 0,
+            remote_misses: 0,
+        }
     }
 }
 
@@ -239,15 +401,87 @@ mod tests {
     }
 
     #[test]
-    fn default_mem_stats_are_zero() {
+    fn mem_stats_total_matches_access_count() {
         let rt = RealRuntime::new();
         rt.mem_access(3, AccessKind::Read);
-        assert_eq!(rt.mem_stats(), MemAccessStats::default());
-        assert_eq!(rt.mem_stats().total(), 0);
+        rt.mem_access(4, AccessKind::Write);
+        let s = rt.mem_stats();
+        assert_eq!(s.total(), rt.access_count());
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses(), 0, "no coherence tracking: everything is a hit");
     }
 
     #[test]
     fn not_simulated() {
         assert!(!RealRuntime::new().is_simulated());
+    }
+
+    #[test]
+    fn cached_id_distinguishes_runtimes() {
+        // Two runtimes touched alternately from one thread must keep
+        // separate (and stable) assignments despite the thread-local cache.
+        let a = RealRuntime::new();
+        let b = RealRuntime::new();
+        let ia = a.thread_id();
+        let ib = b.thread_id();
+        assert_eq!(a.thread_id(), ia);
+        assert_eq!(b.thread_id(), ib);
+        assert_eq!(a.thread_id(), ia);
+    }
+
+    #[test]
+    fn registered_slots_are_recycled() {
+        let rt = Arc::new(RealRuntime::new());
+        // Many more short-lived threads than any engine's max_threads;
+        // with explicit registration every one of them reuses id 0.
+        for _ in 0..16 {
+            let rt2 = rt.clone();
+            let id = std::thread::spawn(move || {
+                let slot = rt2.register();
+                assert_eq!(slot.id(), rt2.thread_id());
+                slot.id()
+            })
+            .join()
+            .unwrap();
+            assert_eq!(id, 0, "vacated id was not reused");
+        }
+    }
+
+    #[test]
+    fn slot_drop_invalidates_cache_and_frees_id() {
+        let rt = Arc::new(RealRuntime::new());
+        let slot = rt.register();
+        assert_eq!(slot.id(), 0);
+        drop(slot);
+        // Another thread claims the freed id 0...
+        let rt2 = rt.clone();
+        std::thread::spawn(move || {
+            let _slot = rt2.register();
+            assert_eq!(rt2.thread_id(), 0);
+            // hold until joined
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        })
+        .join()
+        .unwrap();
+        // ...and this thread, whose cache was invalidated, re-registers
+        // implicitly with a fresh id instead of the stale cached 0.
+        assert_eq!(rt.thread_id(), 0, "id freed again after the helper exited");
+    }
+
+    #[test]
+    fn register_adopts_existing_implicit_id() {
+        let rt = Arc::new(RealRuntime::new());
+        let implicit = rt.thread_id();
+        let slot = rt.register();
+        assert_eq!(slot.id(), implicit);
+        assert_eq!(rt.thread_id(), implicit);
+    }
+
+    #[test]
+    fn backoff_terminates_at_all_attempt_levels() {
+        let rt = RealRuntime::new();
+        for attempt in [0, 1, 3, 4, 19, 20, 26, 40, u32::MAX] {
+            rt.backoff(attempt);
+        }
     }
 }
