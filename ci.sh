@@ -18,6 +18,9 @@ echo "==> native mode: real-thread smoke tests + wall-clock bench (--smoke)"
 cargo test -q --offline --test native_smoke
 cargo run -q --release --offline -p hcf-bench --bin native -- --smoke
 
+echo "==> tmem hot-path bench (--smoke; see docs/DESIGN.md, TM hot path)"
+cargo run -q --release --offline -p hcf-bench --bin tmem_hot -- --smoke
+
 echo "==> bench targets compile (criterion-bench feature)"
 cargo build --offline -p hcf-bench --benches --features criterion-bench
 
@@ -26,6 +29,10 @@ cargo test -q --offline -p hcf-sim --features txsan
 
 echo "==> sanitizer: replay checker, negative (seeded-bug) and full-run tests"
 cargo test -q --offline -p san
+
+echo "==> sanitizer full-run + sim txsan suite under the GV5 clock mode"
+HCF_CLOCK_MODE=gv5 cargo test -q --offline -p san --test full_run
+HCF_CLOCK_MODE=gv5 cargo test -q --offline -p hcf-sim --features txsan
 
 echo "==> hcf-lint (source access discipline; see docs/SANITIZER.md)"
 cargo run -q --offline -p san --bin hcf-lint

@@ -17,6 +17,12 @@
 //! * **`no-adhoc-rng`** — `thread_rng`, `from_entropy` and the external
 //!   `rand::` crate are banned in library sources; deterministic
 //!   reproduction requires seeded `hcf_util::rng` generators.
+//! * **`seqcst`** — `Ordering::SeqCst` is banned in library sources.
+//!   Every atomic in the TM hot path carries a justified
+//!   acquire/release/relaxed ordering; a stray SeqCst usually means the
+//!   ordering was never thought through (and it hides the two deliberate
+//!   store-buffering fences). The surviving sites carry
+//!   `hcf-lint: allow(seqcst)` next to their justification.
 //!
 //! Suppress a finding with `// hcf-lint: allow(<rule>)` on the offending
 //! line or the line directly above it.
@@ -65,6 +71,7 @@ pub const RULES: &[&str] = &[
     "safety-comment",
     "no-wall-clock",
     "no-adhoc-rng",
+    "seqcst",
 ];
 
 /// Strips `//` comments, nested `/* */` comments, string literals
@@ -353,6 +360,17 @@ pub fn lint_source(path_label: &str, source: &str, class: FileClass) -> Vec<Find
                         .to_string(),
                 );
             }
+            // seqcst: every ordering in library code must be justified;
+            // blanket SeqCst is almost always an unexamined default.
+            if contains_word(line, "SeqCst") {
+                flag(
+                    idx,
+                    "seqcst",
+                    "Ordering::SeqCst in library code; pick the weakest correct ordering \
+                     and document it, or justify with `hcf-lint: allow(seqcst)`"
+                        .to_string(),
+                );
+            }
         }
     }
     findings
@@ -527,6 +545,27 @@ let r = r"std::sync::RwLock";
         let f = lint_lib(src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn seqcst_flagged_in_library_only() {
+        let src = "x.store(1, Ordering::SeqCst);\n";
+        let f = lint_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "seqcst");
+        assert!(lint_source("crates/x/tests/t.rs", src, FileClass::SupportSource).is_empty());
+    }
+
+    #[test]
+    fn seqcst_suppression_with_justification() {
+        let src = "// Store-buffering fence. hcf-lint: allow(seqcst)\n\
+                   fence(Ordering::SeqCst);\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_in_comment_not_flagged() {
+        assert!(lint_lib("// SeqCst would also work but is slower.\nlet x = 1;\n").is_empty());
     }
 
     #[test]

@@ -218,13 +218,15 @@ mod tests {
                     }
                     sched.finish(tid);
                 }
-                done.fetch_add(1, Ordering::SeqCst);
+                // Relaxed: the join below orders the counter bumps
+                // before the assertion.
+                done.fetch_add(1, Ordering::Relaxed);
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(done.load(Ordering::SeqCst), 2);
+        assert_eq!(done.load(Ordering::Relaxed), 2);
         assert_eq!(sched.max_time(), 10);
     }
 

@@ -83,9 +83,10 @@ pub mod runtime;
 pub mod san;
 pub mod stats;
 pub mod txn;
+pub mod txset;
 
 pub use addr::Addr;
-pub use config::TMemConfig;
+pub use config::{ClockMode, TMemConfig};
 pub use ctx::{DirectCtx, MemCtx, TxCtx};
 pub use error::{AbortCause, TxResult};
 pub use lock::ElidableLock;
@@ -93,3 +94,4 @@ pub use mem::TMem;
 pub use runtime::{AccessKind, RealRuntime, Runtime, ThreadSlot, TxEvent};
 pub use stats::TxStats;
 pub use txn::Txn;
+pub use txset::TxnScratch;

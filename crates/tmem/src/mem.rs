@@ -1,11 +1,36 @@
 //! The transactional memory instance.
+//!
+//! ## Memory-ordering discipline
+//!
+//! The orec protocol uses the weakest orderings that keep the TL2
+//! argument sound (the full argument lives in `DESIGN.md`, "TM hot
+//! path"); the building blocks are:
+//!
+//! * **Publish/consume pairs.** Every store that *publishes* data (a
+//!   commit's word stores, a direct write's word store, an orec unlock)
+//!   is `Release`; every load that can *observe* published data (a
+//!   reader's orec and word loads, a commit's lock CAS on success) is
+//!   `Acquire`. A reader that sees published data therefore also sees
+//!   the locked/bumped orec that guards it, and aborts.
+//! * **One Dekker pair.** `writeback_enter` vs [`TMem::quiesce`] is a
+//!   store-buffering race (committer: *enter window, then validate the
+//!   lock word*; lock acquirer: *bump lock word, then read the
+//!   window counter*). Release/Acquire cannot exclude the case where
+//!   both sides miss each other's store, so both sides carry a
+//!   `SeqCst` fence between their store and their load. These are the
+//!   only sequentially-consistent operations on the hot path.
+//! * **Counters.** The clock is `Acquire`/`AcqRel` (its values order
+//!   commits against snapshots; data visibility rides on the orec
+//!   pairs above, so `SeqCst` buys nothing).
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+use hcf_util::pad::CachePadded;
 
 use crate::addr::Addr;
 use crate::alloc::Allocator;
-use crate::config::TMemConfig;
+use crate::config::{ClockMode, TMemConfig};
 use crate::error::TxResult;
 use crate::orec::OrecValue;
 use crate::runtime::{AccessKind, Runtime};
@@ -16,17 +41,24 @@ use crate::txn::Txn;
 /// detection. See the [crate docs](crate) for the overall model.
 ///
 /// All state lives in pre-sized arrays of atomics, so the structure is
-/// `Send + Sync` and fully safe Rust.
+/// `Send + Sync` and fully safe Rust. The global metadata words (clock,
+/// write-back window counter) and each orec are [`CachePadded`]: orecs
+/// are the single most contended array in the system — every
+/// transactional access touches one — and without padding sixteen
+/// *logically disjoint* orecs share each physical cache line, so
+/// transactions on disjoint data still ping-pong metadata lines.
 pub struct TMem {
     cfg: TMemConfig,
     words: Box<[AtomicU64]>,
-    orecs: Box<[AtomicU64]>,
-    /// TL2 global version clock.
-    clock: AtomicU64,
+    /// One ownership record per line, each owning a real cache line.
+    orecs: Box<[CachePadded<AtomicU64>]>,
+    /// TL2 global version clock. Padded: under GV1 every writer commit
+    /// writes it, and nothing else may share its line.
+    clock: CachePadded<AtomicU64>,
     /// Number of transactions currently between read-set validation and the
     /// end of write-back. [`TMem::quiesce`] waits for this to reach zero;
     /// see [`ElidableLock`](crate::ElidableLock) for the protocol.
-    writeback_active: AtomicUsize,
+    writeback_active: CachePadded<AtomicUsize>,
     alloc: Allocator,
     stats: TxStats,
 }
@@ -35,14 +67,16 @@ impl TMem {
     /// Creates a memory per `cfg`, zero-initialized.
     pub fn new(cfg: TMemConfig) -> Self {
         let words = (0..cfg.words).map(|_| AtomicU64::new(0)).collect();
-        let orecs = (0..cfg.lines()).map(|_| AtomicU64::new(0)).collect();
+        let orecs = (0..cfg.lines())
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
         let alloc = Allocator::new(cfg.words);
         TMem {
             cfg,
             words,
             orecs,
-            clock: AtomicU64::new(0),
-            writeback_active: AtomicUsize::new(0),
+            clock: CachePadded::new(AtomicU64::new(0)),
+            writeback_active: CachePadded::new(AtomicUsize::new(0)),
             alloc,
             stats: TxStats::new(),
         }
@@ -60,13 +94,49 @@ impl TMem {
     }
 
     /// Current value of the global version clock.
+    ///
+    /// `Acquire`: pairs with the `AcqRel` bumps, so a thread that reads
+    /// clock value `V` as its snapshot also observes everything that
+    /// happened before the bump to `V` (smaller values would only cause
+    /// spurious aborts, but the pairing keeps snapshots monotone across
+    /// threads that synchronize through the clock).
     #[inline]
     pub fn clock(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst)
+        self.clock.load(Ordering::Acquire)
     }
 
+    /// Advances the clock and returns the new value. `AcqRel`: the bump
+    /// both publishes the bumping thread's prior work to later snapshot
+    /// readers (`Release` half) and orders it after earlier bumps it
+    /// builds on (`Acquire` half).
     pub(crate) fn bump_clock(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The version a writer commit publishes with, per the configured
+    /// [`ClockMode`]. Must be called **while the write locks are held**:
+    /// GV5's safety argument (see [`ClockMode`]) relies on the sample
+    /// being taken after the lines are locked.
+    pub(crate) fn commit_version(&self) -> u64 {
+        match self.cfg.clock_mode {
+            ClockMode::Gv1 => self.bump_clock(),
+            // GV5: sample without advancing. No reader can have recorded
+            // version `clock + 1` (its snapshot rv ≤ clock), so
+            // publishing it — even twice, while the clock stands still —
+            // fails every validator that read the line earlier.
+            ClockMode::Gv5 => self.clock() + 1,
+        }
+    }
+
+    /// Records a conflict abort. Under GV5 this is the "bump on
+    /// validation failure" half of the protocol: advancing the clock
+    /// here guarantees the retry begins with a snapshot at least as new
+    /// as the version that failed validation, so a stale clock cannot
+    /// livelock readers against already-published lines.
+    pub(crate) fn note_conflict(&self) {
+        if self.cfg.clock_mode == ClockMode::Gv5 {
+            self.bump_clock();
+        }
     }
 
     #[inline]
@@ -83,12 +153,28 @@ impl TMem {
         &self.stats
     }
 
+    /// Enters the commit write-back window.
+    ///
+    /// The `SeqCst` fence forms a Dekker pair with the one in
+    /// [`TMem::quiesce`]: the committer *stores* the window counter then
+    /// *loads* orecs (read validation, including any subscribed lock
+    /// word); a lock acquirer *stores* its lock word then *loads* the
+    /// window counter. With weaker orderings both loads could read the
+    /// old values — the committer misses the acquisition and the
+    /// acquirer misses the in-flight write-back — and the lock holder
+    /// would read half-published data.
     pub(crate) fn writeback_enter(&self) {
-        self.writeback_active.fetch_add(1, Ordering::SeqCst);
+        self.writeback_active.fetch_add(1, Ordering::Relaxed);
+        // hcf-lint: allow(seqcst) — Dekker pair with `quiesce`, see above.
+        fence(Ordering::SeqCst);
     }
 
+    /// Leaves the write-back window. `Release`: pairs with the `Acquire`
+    /// loads in [`TMem::quiesce`], so a quiescer that observes the
+    /// counter at zero also observes every word/orec store the exiting
+    /// committer published.
     pub(crate) fn writeback_exit(&self) {
-        self.writeback_active.fetch_sub(1, Ordering::SeqCst);
+        self.writeback_active.fetch_sub(1, Ordering::Release);
     }
 
     /// Begins a transaction. The returned [`Txn`] borrows this memory and
@@ -110,7 +196,10 @@ impl TMem {
     pub fn read_direct(&self, rt: &dyn Runtime, addr: Addr) -> u64 {
         self.stats.record_direct_read();
         rt.mem_access(self.line_of(addr), AccessKind::Read);
-        self.word(addr).load(Ordering::SeqCst)
+        // Acquire: pairs with the Release word stores of commits and
+        // direct writes, so observing a published value also makes
+        // everything the writer did before it visible to this thread.
+        self.word(addr).load(Ordering::Acquire)
     }
 
     /// Non-transactional store. Bumps the line version so every in-flight
@@ -122,10 +211,26 @@ impl TMem {
         rt.mem_access(self.line_of(addr), AccessKind::Write);
         let line = self.line_of(addr);
         let old = self.lock_orec_spin(line);
-        self.word(addr).store(value, Ordering::SeqCst);
+        // Release: a transactional reader whose Acquire word load sees
+        // this value must also see the locked orec stored before it
+        // (lock CAS ≺ word store by the CAS's Acquire), so its o2
+        // re-check fails and it aborts instead of keeping the new data
+        // under the old version.
+        self.word(addr).store(value, Ordering::Release);
         let wv = self.bump_clock();
-        debug_assert!(wv > old.version());
-        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        // GV1 keeps the clock strictly ahead of every published version.
+        // GV5 lets commits publish `clock + 1`, so the bumped value here
+        // can *equal* the line's version; that is still invalidating
+        // (no in-flight reader can have recorded a version above its
+        // snapshot, which was ≤ the pre-bump clock) but only GV1 gets
+        // the strict inequality.
+        debug_assert!(match self.cfg.clock_mode {
+            ClockMode::Gv1 => wv > old.version(),
+            ClockMode::Gv5 => wv >= old.version(),
+        });
+        // Release: publishes the word store above to readers whose
+        // Acquire orec load observes the new version.
+        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::Release);
         // Guarded: when dormant the hook must not evaluate `thread_id()`
         // (the real runtime assigns dense ids on first touch, and the
         // sanitizer must not perturb that order).
@@ -148,7 +253,9 @@ impl TMem {
     #[cfg(feature = "txsan")]
     pub fn torn_write_direct(&self, rt: &dyn Runtime, addr: Addr, value: u64) {
         rt.mem_access(self.line_of(addr), AccessKind::Write);
-        self.word(addr).store(value, Ordering::SeqCst);
+        // Release matches `write_direct`'s word store; the injected
+        // fault is the *missing orec protocol*, not a weaker ordering.
+        self.word(addr).store(value, Ordering::Release);
         if crate::san::enabled() {
             crate::san::log(crate::san::SanEvent::DirectWrite {
                 tid: rt.thread_id() as u64,
@@ -172,15 +279,22 @@ impl TMem {
         rt.mem_access(self.line_of(addr), AccessKind::Write);
         let line = self.line_of(addr);
         let old = self.lock_orec_spin(line);
-        let cur = self.word(addr).load(Ordering::SeqCst);
+        // Acquire: pairs with the Release stores of whichever writer
+        // published the current value (belt on top of the lock CAS's
+        // Acquire, which already orders us after the previous owner).
+        let cur = self.word(addr).load(Ordering::Acquire);
         if cur != expected {
-            self.orec(line).store(old.raw(), Ordering::SeqCst);
+            // Release: restoring the original orec value unlocks the
+            // line; waiters' Acquire loads must see our (lack of)
+            // changes before treating it as free.
+            self.orec(line).store(old.raw(), Ordering::Release);
             return Err(cur);
         }
         self.stats.record_direct_write();
-        self.word(addr).store(new, Ordering::SeqCst);
+        // Release/Release: same publish pair as `write_direct`.
+        self.word(addr).store(new, Ordering::Release);
         let wv = self.bump_clock();
-        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+        self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::Release);
         // Guarded like `write_direct`: no `thread_id()` while dormant.
         #[cfg(feature = "txsan")]
         if crate::san::enabled() {
@@ -202,15 +316,24 @@ impl TMem {
     /// holders never park while a lock is held.
     fn lock_orec_spin(&self, line: usize) -> OrecValue {
         loop {
-            let cur = OrecValue(self.orec(line).load(Ordering::SeqCst));
+            // Relaxed: the value is only a CAS candidate; the CAS
+            // re-validates it.
+            let cur = OrecValue(self.orec(line).load(Ordering::Relaxed));
             if !cur.is_locked()
                 && self
                     .orec(line)
                     .compare_exchange(
                         cur.raw(),
                         cur.locked().raw(),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        // Acquire on success: synchronizes with the
+                        // previous owner's Release unlock, so our
+                        // subsequent word accesses see its published
+                        // data; it also pins our later word store after
+                        // the lock in program order (a reader observing
+                        // that store therefore observes a locked orec).
+                        Ordering::Acquire,
+                        // Relaxed on failure: we just retry.
+                        Ordering::Relaxed,
                     )
                     .is_ok()
             {
@@ -228,8 +351,16 @@ impl TMem {
     /// direct reads observe a consistent memory (all later transactions
     /// fail validation against the bumped lock word).
     pub fn quiesce(&self, rt: &dyn Runtime) {
+        // Dekker pair with `writeback_enter` (see there): the caller
+        // stored its lock word just before quiescing, and that store
+        // must be globally visible before we conclude no write-back is
+        // in flight.
+        // hcf-lint: allow(seqcst) — Dekker pair with `writeback_enter`.
+        fence(Ordering::SeqCst);
         let mut attempt = 0u32;
-        while self.writeback_active.load(Ordering::SeqCst) != 0 {
+        // Acquire: pairs with `writeback_exit`'s Release, so reading
+        // zero proves every draining committer's publishes are visible.
+        while self.writeback_active.load(Ordering::Acquire) != 0 {
             rt.backoff(attempt);
             attempt = attempt.saturating_add(1);
         }
@@ -248,9 +379,10 @@ impl TMem {
         for i in 0..words as u64 {
             let line = self.line_of(a + i);
             let _old = self.lock_orec_spin(line);
-            self.word(a + i).store(0, Ordering::SeqCst);
+            // Release/Release: same publish pair as `write_direct`.
+            self.word(a + i).store(0, Ordering::Release);
             let wv = self.bump_clock();
-            self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::SeqCst);
+            self.orec(line).store(OrecValue::unlocked(wv).raw(), Ordering::Release);
             #[cfg(feature = "txsan")]
             crate::san::log(crate::san::SanEvent::DirectWrite {
                 tid: crate::san::TID_NONE,
@@ -267,7 +399,9 @@ impl TMem {
     pub fn alloc_line_direct(&self, words: usize) -> TxResult<Addr> {
         let a = self.alloc.alloc_aligned(words, self.cfg.words_per_line())?;
         for i in 0..words as u64 {
-            self.word(a + i).store(0, Ordering::SeqCst);
+            // Release: fresh-block zeroing is published the same way as
+            // any other direct store (readers pair with Acquire loads).
+            self.word(a + i).store(0, Ordering::Release);
             #[cfg(feature = "txsan")]
             crate::san::log(crate::san::SanEvent::DirectWrite {
                 tid: crate::san::TID_NONE,
@@ -327,9 +461,9 @@ mod tests {
     fn direct_write_bumps_line_version() {
         let (m, rt) = setup();
         let a = m.alloc_direct(1).unwrap();
-        let before = OrecValue(m.orec(m.line_of(a)).load(Ordering::SeqCst));
+        let before = OrecValue(m.orec(m.line_of(a)).load(Ordering::Relaxed));
         m.write_direct(&rt, a, 7);
-        let after = OrecValue(m.orec(m.line_of(a)).load(Ordering::SeqCst));
+        let after = OrecValue(m.orec(m.line_of(a)).load(Ordering::Relaxed));
         assert!(after.version() > before.version());
         assert!(!after.is_locked());
     }
@@ -348,9 +482,9 @@ mod tests {
         let (m, rt) = setup();
         let a = m.alloc_direct(1).unwrap();
         m.write_direct(&rt, a, 1);
-        let before = m.orec(m.line_of(a)).load(Ordering::SeqCst);
+        let before = m.orec(m.line_of(a)).load(Ordering::Relaxed);
         let _ = m.cas_direct(&rt, a, 99, 100);
-        let after = m.orec(m.line_of(a)).load(Ordering::SeqCst);
+        let after = m.orec(m.line_of(a)).load(Ordering::Relaxed);
         assert_eq!(before, after);
     }
 
@@ -383,6 +517,45 @@ mod tests {
     fn quiesce_returns_when_no_writebacks() {
         let (m, rt) = setup();
         m.quiesce(&rt); // must not hang
+    }
+
+    #[test]
+    fn gv1_commit_version_advances_clock() {
+        let m = TMem::new(
+            TMemConfig::small_word_granular().with_clock_mode(ClockMode::Gv1),
+        );
+        let before = m.clock();
+        assert_eq!(m.commit_version(), before + 1);
+        assert_eq!(m.clock(), before + 1, "GV1 bumps on every commit");
+        m.note_conflict();
+        assert_eq!(m.clock(), before + 1, "GV1 never bumps on conflict");
+    }
+
+    #[test]
+    fn gv5_commit_version_samples_and_bumps_on_conflict() {
+        let m = TMem::new(
+            TMemConfig::small_word_granular().with_clock_mode(ClockMode::Gv5),
+        );
+        let before = m.clock();
+        assert_eq!(m.commit_version(), before + 1);
+        assert_eq!(m.commit_version(), before + 1, "repeat samples are stable");
+        assert_eq!(m.clock(), before, "sampling must not advance the clock");
+        m.note_conflict();
+        assert_eq!(m.clock(), before + 1, "validation failure advances it");
+        assert_eq!(m.commit_version(), before + 2);
+    }
+
+    #[test]
+    fn gv5_direct_write_still_invalidates_line() {
+        let (mut cfg, rt) = (TMemConfig::small_word_granular(), RealRuntime::new());
+        cfg.clock_mode = ClockMode::Gv5;
+        let m = TMem::new(cfg);
+        let a = m.alloc_direct(1).unwrap();
+        let before = OrecValue(m.orec(m.line_of(a)).load(Ordering::Relaxed));
+        m.write_direct(&rt, a, 7);
+        let after = OrecValue(m.orec(m.line_of(a)).load(Ordering::Relaxed));
+        assert!(after.version() > before.version());
+        assert_eq!(m.read_direct(&rt, a), 7);
     }
 
     #[test]

@@ -93,4 +93,36 @@ mod tests {
         assert_ne!(OrecValue::unlocked(1), OrecValue::unlocked(2));
         assert_ne!(OrecValue::unlocked(1), OrecValue::unlocked(1).locked());
     }
+
+    #[test]
+    fn max_version_round_trips() {
+        // The largest representable version: all 63 bits set. Packing
+        // must not clobber the lock bit and unpacking must be lossless.
+        let max = u64::MAX >> 1;
+        let o = OrecValue::unlocked(max);
+        assert_eq!(o.version(), max);
+        assert!(!o.is_locked());
+        let l = o.locked();
+        assert!(l.is_locked());
+        assert_eq!(l.version(), max, "lock bit must not leak into version");
+        assert_eq!(l.raw(), u64::MAX);
+    }
+
+    #[test]
+    fn near_max_versions_stay_ordered() {
+        // Commit compares versions with `<=`; the packed representation
+        // must preserve ordering right up to the boundary.
+        let max = u64::MAX >> 1;
+        assert!(OrecValue::unlocked(max - 1).version() < OrecValue::unlocked(max).version());
+        assert!(OrecValue::unlocked(max - 1).raw() < OrecValue::unlocked(max).raw());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert only fires in debug builds")]
+    #[should_panic(expected = "version overflow")]
+    fn overflowing_version_panics_in_debug() {
+        // One past the representable range would shift into the sign-off
+        // bit and alias `locked()` values; debug builds must catch it.
+        let _ = OrecValue::unlocked((u64::MAX >> 1) + 1);
+    }
 }

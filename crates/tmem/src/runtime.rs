@@ -21,7 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use hcf_util::pad::CachePadded;
 use hcf_util::sync::Mutex;
+
+use crate::txset::TxnScratch;
 
 /// The kind of a memory access, for cost accounting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,6 +123,22 @@ pub trait Runtime: Send + Sync {
     fn mem_stats(&self) -> MemAccessStats {
         MemAccessStats::default()
     }
+
+    /// Hands out a pooled [`TxnScratch`] for a transaction beginning on
+    /// the calling thread. The default keeps a small per-OS-thread pool
+    /// (correct for both runtimes: the lockstep scheduler pins each
+    /// virtual thread to its own OS thread), so after warm-up repeated
+    /// transactions perform no allocator calls at all.
+    fn take_scratch(&self) -> TxnScratch {
+        crate::txset::pool_take()
+    }
+
+    /// Returns a scratch taken with [`take_scratch`](Runtime::take_scratch)
+    /// once its transaction finishes. The scratch is reset before being
+    /// pooled; only capacity survives the round trip.
+    fn put_scratch(&self, scratch: TxnScratch) {
+        crate::txset::pool_put(scratch)
+    }
 }
 
 /// Monotonically increasing token distinguishing [`RealRuntime`]
@@ -159,16 +178,62 @@ impl IdRegistry {
     }
 }
 
-/// Pass-through runtime for ordinary execution: threads run freely, time is
-/// wall time, and per-access cost hooks only bump counters.
-pub struct RealRuntime {
-    start: Instant,
-    token: u64,
-    ids: Mutex<IdRegistry>,
+/// Number of padded statistics stripes in [`RealRuntime`] (power of two).
+/// Threads pick stripes round-robin on first use, so up to this many
+/// worker threads count without ever touching a shared cache line.
+const COUNTER_STRIPES: usize = 64;
+
+/// Round-robin source of stripe indices (see [`STRIPE_IDX`]).
+static STRIPE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The calling thread's counter-stripe index, assigned round-robin on
+    /// first use. Deliberately independent of [`Runtime::thread_id`]:
+    /// counter bumps run inside `mem_access`/`tx_event`, and resolving a
+    /// dense id there would *implicitly register* threads (such as a main
+    /// thread doing direct setup) that previously never got one, shifting
+    /// every later thread's id — observable through engine `max_threads`
+    /// checks and the lockstep/sanitizer id order.
+    static STRIPE_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's stripe index (shared across all [`RealRuntime`]s; the
+/// stripes themselves are per-runtime).
+#[inline]
+fn stripe_index() -> usize {
+    let cached = STRIPE_IDX.get();
+    if cached != usize::MAX {
+        return cached;
+    }
+    let idx = STRIPE_SEQ.fetch_add(1, Ordering::Relaxed) as usize & (COUNTER_STRIPES - 1);
+    STRIPE_IDX.set(idx);
+    idx
+}
+
+/// One stripe of [`RealRuntime`] statistics. All four counters fit well
+/// inside the 128-byte padding unit, so a thread's begin/commit/access
+/// bumps stay on one private line.
+#[derive(Debug, Default)]
+struct CounterStripe {
     accesses: AtomicU64,
     begins: AtomicU64,
     commits: AtomicU64,
     aborts: AtomicU64,
+}
+
+/// Pass-through runtime for ordinary execution: threads run freely, time is
+/// wall time, and per-access cost hooks only bump counters.
+///
+/// The counters are striped per thread id and cache-padded
+/// ([`CachePadded`]): `mem_access` runs on every transactional load and
+/// store, and a single shared `fetch_add` target would serialize all
+/// worker threads on one cache line — false sharing on the hottest
+/// counter in the workspace.
+pub struct RealRuntime {
+    start: Instant,
+    token: u64,
+    ids: Mutex<IdRegistry>,
+    stripes: Box<[CachePadded<CounterStripe>]>,
 }
 
 impl RealRuntime {
@@ -181,25 +246,37 @@ impl RealRuntime {
             start: Instant::now(), // hcf-lint: allow(no-wall-clock)
             token: RUNTIME_TOKEN.fetch_add(1, Ordering::Relaxed),
             ids: Mutex::new(IdRegistry::default()),
-            accesses: AtomicU64::new(0),
-            begins: AtomicU64::new(0),
-            commits: AtomicU64::new(0),
-            aborts: AtomicU64::new(0),
+            stripes: (0..COUNTER_STRIPES)
+                .map(|_| CachePadded::new(CounterStripe::default()))
+                .collect(),
         }
+    }
+
+    /// The calling thread's counter stripe. Round-robin assignment means
+    /// threads map to distinct stripes until more than
+    /// [`COUNTER_STRIPES`] have ever counted.
+    #[inline]
+    fn stripe(&self) -> &CounterStripe {
+        &self.stripes[stripe_index()]
     }
 
     /// Number of transactions begun/committed/aborted so far.
     pub fn tx_counts(&self) -> (u64, u64, u64) {
-        (
-            self.begins.load(Ordering::Relaxed),
-            self.commits.load(Ordering::Relaxed),
-            self.aborts.load(Ordering::Relaxed),
-        )
+        let mut totals = (0, 0, 0);
+        for s in self.stripes.iter() {
+            totals.0 += s.begins.load(Ordering::Relaxed);
+            totals.1 += s.commits.load(Ordering::Relaxed);
+            totals.2 += s.aborts.load(Ordering::Relaxed);
+        }
+        totals
     }
 
     /// Total memory accesses observed.
     pub fn access_count(&self) -> u64 {
-        self.accesses.load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.accesses.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Explicitly registers the calling thread, returning a guard that
@@ -293,7 +370,7 @@ impl fmt::Debug for RealRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RealRuntime")
             .field("threads", &self.ids.lock().next)
-            .field("accesses", &self.accesses.load(Ordering::Relaxed))
+            .field("accesses", &self.access_count())
             .finish()
     }
 }
@@ -337,14 +414,15 @@ impl Runtime for RealRuntime {
     }
 
     fn mem_access(&self, _line: usize, _kind: AccessKind) {
-        self.accesses.fetch_add(1, Ordering::Relaxed);
+        self.stripe().accesses.fetch_add(1, Ordering::Relaxed);
     }
 
     fn tx_event(&self, event: TxEvent) {
+        let stripe = self.stripe();
         let ctr = match event {
-            TxEvent::Begin => &self.begins,
-            TxEvent::Commit => &self.commits,
-            TxEvent::Abort => &self.aborts,
+            TxEvent::Begin => &stripe.begins,
+            TxEvent::Commit => &stripe.commits,
+            TxEvent::Abort => &stripe.aborts,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
     }
@@ -356,7 +434,7 @@ impl Runtime for RealRuntime {
     /// meaningless here (only the lockstep runtime tracks ownership).
     fn mem_stats(&self) -> MemAccessStats {
         MemAccessStats {
-            hits: self.accesses.load(Ordering::Relaxed),
+            hits: self.access_count(),
             local_misses: 0,
             remote_misses: 0,
         }
@@ -475,6 +553,36 @@ mod tests {
         let slot = rt.register();
         assert_eq!(slot.id(), implicit);
         assert_eq!(rt.thread_id(), implicit);
+    }
+
+    #[test]
+    fn counters_aggregate_across_stripes() {
+        // Counts from different threads land in different stripes but
+        // must still sum correctly.
+        let rt = Arc::new(RealRuntime::new());
+        rt.tx_event(TxEvent::Begin);
+        rt.mem_access(0, AccessKind::Read);
+        let rt2 = rt.clone();
+        std::thread::spawn(move || {
+            rt2.tx_event(TxEvent::Begin);
+            rt2.tx_event(TxEvent::Commit);
+            rt2.mem_access(1, AccessKind::Write);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rt.tx_counts(), (2, 1, 0));
+        assert_eq!(rt.access_count(), 2);
+    }
+
+    #[test]
+    fn scratch_round_trip_via_trait() {
+        let rt = RealRuntime::new();
+        let mut s = rt.take_scratch();
+        s.writes.insert(1, 2);
+        rt.put_scratch(s);
+        let s2 = rt.take_scratch();
+        assert!(s2.is_clean(), "pooled scratch must come back reset");
+        rt.put_scratch(s2);
     }
 
     #[test]

@@ -188,19 +188,26 @@ impl EventRing {
     }
 
     /// Clears every slot claimed since the last reset.
+    ///
+    /// Cold session-control path (runs once per sanitizer session while
+    /// no workers are live); `SeqCst` is kept deliberately — it costs
+    /// nothing here and makes the session open/close totally ordered
+    /// with respect to the `ACTIVE` flag below.
     fn reset(&self) {
+        // hcf-lint: allow(seqcst) — cold ring control, total order with ACTIVE.
         let used = (self.cursor.load(Ordering::SeqCst) as usize).min(self.slots.len());
         for slot in &self.slots[..used] {
-            slot.ready.store(0, Ordering::SeqCst);
+            slot.ready.store(0, Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold ring control
         }
-        self.dropped.store(0, Ordering::SeqCst);
-        self.cursor.store(0, Ordering::SeqCst);
+        self.dropped.store(0, Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold ring control
+        self.cursor.store(0, Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold ring control
     }
 
     fn collect(&self) -> SanLog {
+        // hcf-lint: allow(seqcst) — cold collection path, workers joined.
         let claimed = self.cursor.load(Ordering::SeqCst) as usize;
         let used = claimed.min(self.slots.len());
-        let mut dropped = self.dropped.load(Ordering::SeqCst);
+        let mut dropped = self.dropped.load(Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold collection path
         let mut events = Vec::with_capacity(used);
         for slot in &self.slots[..used] {
             let kind = slot.ready.load(Ordering::Acquire);
@@ -282,6 +289,9 @@ impl SanSession {
     pub fn start_with_capacity(capacity: usize) -> SanSession {
         assert!(
             ACTIVE
+                // Session open/close is a cold, once-per-run handshake;
+                // SeqCst keeps it totally ordered with the ring resets.
+                // hcf-lint: allow(seqcst) — cold session control.
                 .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok(),
             "another txsan session is already active"
@@ -297,7 +307,7 @@ impl SanSession {
     /// threads have been joined, so every claimed slot is published.
     pub fn finish(mut self) -> SanLog {
         self.finished = true;
-        ACTIVE.store(false, Ordering::SeqCst);
+        ACTIVE.store(false, Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold session control
         RING.get().map(EventRing::collect).unwrap_or_default()
     }
 }
@@ -305,7 +315,7 @@ impl SanSession {
 impl Drop for SanSession {
     fn drop(&mut self) {
         if !self.finished {
-            ACTIVE.store(false, Ordering::SeqCst);
+            ACTIVE.store(false, Ordering::SeqCst); // hcf-lint: allow(seqcst) — cold session control
         }
     }
 }

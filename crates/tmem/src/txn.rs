@@ -1,13 +1,14 @@
 //! TL2-style transactions with opacity.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::Ordering;
 
 use crate::addr::Addr;
 use crate::error::{AbortCause, TxResult};
 use crate::mem::TMem;
 use crate::orec::OrecValue;
 use crate::runtime::{AccessKind, Runtime, TxEvent};
+use crate::txset::TxnScratch;
 
 /// An in-flight transaction.
 ///
@@ -21,19 +22,17 @@ use crate::runtime::{AccessKind, Runtime, TxEvent};
 /// is sticky: once poisoned, every subsequent operation fails with the same
 /// cause, so user code can simply propagate with `?` and let the retry loop
 /// inspect the cause.
+///
+/// All heap-backed state lives in a pooled [`TxnScratch`] taken from the
+/// runtime at begin and returned at drop, so after per-thread warm-up the
+/// whole begin/read/write/commit cycle allocates nothing.
 pub struct Txn<'m> {
     mem: &'m TMem,
     rt: &'m dyn Runtime,
     /// Begin-time snapshot of the global clock.
     rv: u64,
-    /// First-seen orec value per read line.
-    reads: HashMap<usize, u64>,
-    /// Buffered stores (word address -> value).
-    writes: HashMap<u64, u64>,
-    /// Blocks allocated by this transaction (rolled back on abort).
-    allocs: Vec<(Addr, usize)>,
-    /// Frees requested by this transaction (executed after commit).
-    frees: Vec<(Addr, usize)>,
+    /// Read set, write set, line bookkeeping and commit scratch (pooled).
+    scratch: TxnScratch,
     poisoned: Option<AbortCause>,
     finished: bool,
     /// Sanitizer identity of this transaction (see [`crate::san`]).
@@ -62,10 +61,7 @@ impl<'m> Txn<'m> {
             mem,
             rt,
             rv,
-            reads: HashMap::new(),
-            writes: HashMap::new(),
-            allocs: Vec::new(),
-            frees: Vec::new(),
+            scratch: rt.take_scratch(),
             poisoned: None,
             finished: false,
             #[cfg(feature = "txsan")]
@@ -84,6 +80,11 @@ impl<'m> Txn<'m> {
     fn poison(&mut self, cause: AbortCause) -> AbortCause {
         if self.poisoned.is_none() {
             self.poisoned = Some(cause);
+            if cause == AbortCause::Conflict {
+                // GV5's bump-on-validation-failure hook (no-op in GV1):
+                // the failed read proves the snapshot is stale.
+                self.mem.note_conflict();
+            }
         }
         self.poisoned.unwrap()
     }
@@ -102,15 +103,13 @@ impl<'m> Txn<'m> {
 
     /// Number of distinct lines read so far.
     pub fn read_footprint(&self) -> usize {
-        self.reads.len()
+        self.scratch.reads.len()
     }
 
-    /// Number of distinct lines written so far.
+    /// Number of distinct lines written so far (O(1): the line set is
+    /// maintained incrementally by [`write`](Txn::write)).
     pub fn write_footprint(&self) -> usize {
-        let mut lines: Vec<usize> = self.writes.keys().map(|&a| self.mem.line_of(Addr(a))).collect();
-        lines.sort_unstable();
-        lines.dedup();
-        lines.len()
+        self.scratch.write_lines.len()
     }
 
     /// Transactional load.
@@ -122,29 +121,40 @@ impl<'m> Txn<'m> {
     /// footprint exceeds the configured limit.
     pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
         self.check_poison()?;
-        if let Some(&v) = self.writes.get(&addr.0) {
+        if let Some(v) = self.scratch.writes.get(addr.0) {
             return Ok(v);
         }
         self.mem.stats_ref().record_tx_read();
         let line = self.mem.line_of(addr);
         self.rt.mem_access(line, AccessKind::Read);
-        let o1 = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
+        // The o1/data/o2 sandwich. Orderings:
+        //  * o1 Acquire — pairs with a committer's Release publish, so a
+        //    version we accept comes with the data stores it guards;
+        //  * data Acquire — (a) keeps the o2 load below from being
+        //    hoisted above the data read, and (b) pairs with the
+        //    Release word store of a concurrent writer, so if we *do*
+        //    observe in-flight data the happens-before edge forces o2
+        //    to observe that writer's lock CAS and the check fails;
+        //  * o2 Relaxed — it is ordered after the data load by the data
+        //    load's Acquire, and per-location coherence already
+        //    guarantees it reads a value no older than o1.
+        let o1 = OrecValue(self.mem.orec(line).load(Ordering::Acquire));
         if o1.is_locked() || o1.version() > self.rv {
             return Err(self.poison(AbortCause::Conflict));
         }
-        let v = self.mem.word(addr).load(std::sync::atomic::Ordering::SeqCst);
-        let o2 = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
+        let v = self.mem.word(addr).load(Ordering::Acquire);
+        let o2 = OrecValue(self.mem.orec(line).load(Ordering::Relaxed));
         if o1 != o2 {
             return Err(self.poison(AbortCause::Conflict));
         }
-        match self.reads.get(&line) {
-            Some(&rec) if rec != o1.raw() => return Err(self.poison(AbortCause::Conflict)),
+        match self.scratch.reads.get(line as u64) {
+            Some(rec) if rec != o1.raw() => return Err(self.poison(AbortCause::Conflict)),
             Some(_) => {}
             None => {
-                if self.reads.len() >= self.mem.config().read_cap_lines {
+                if self.scratch.reads.len() >= self.mem.config().read_cap_lines {
                     return Err(self.poison(AbortCause::Capacity));
                 }
-                self.reads.insert(line, o1.raw());
+                self.scratch.reads.insert(line as u64, o1.raw());
             }
         }
         #[cfg(feature = "txsan")]
@@ -168,15 +178,18 @@ impl<'m> Txn<'m> {
         self.check_poison()?;
         self.mem.stats_ref().record_tx_write();
         let line = self.mem.line_of(addr);
-        if !self.writes.contains_key(&addr.0) {
+        if self.scratch.writes.get(addr.0).is_none() {
             // Encounter-time coherence event: TSX takes lines exclusive at
             // first write, which is what perturbs other threads' caches.
             self.rt.mem_access(line, AccessKind::Write);
-            if self.write_line_count_with(line) > self.mem.config().write_cap_lines {
-                return Err(self.poison(AbortCause::Capacity));
+            if !self.scratch.write_lines.contains(line) {
+                if self.scratch.write_lines.len() >= self.mem.config().write_cap_lines {
+                    return Err(self.poison(AbortCause::Capacity));
+                }
+                self.scratch.write_lines.insert(line);
             }
         }
-        self.writes.insert(addr.0, value);
+        self.scratch.writes.insert(addr.0, value);
         #[cfg(feature = "txsan")]
         crate::san::log(crate::san::SanEvent::TxWrite {
             txid: self.san_id,
@@ -184,18 +197,6 @@ impl<'m> Txn<'m> {
             value,
         });
         Ok(())
-    }
-
-    fn write_line_count_with(&self, new_line: usize) -> usize {
-        let mut lines: Vec<usize> = self
-            .writes
-            .keys()
-            .map(|&a| self.mem.line_of(Addr(a)))
-            .collect();
-        lines.push(new_line);
-        lines.sort_unstable();
-        lines.dedup();
-        lines.len()
     }
 
     /// Explicitly aborts with code `code` (the `xabort` analogue).
@@ -220,7 +221,7 @@ impl<'m> Txn<'m> {
     pub fn alloc(&mut self, words: usize) -> TxResult<Addr> {
         self.check_poison()?;
         let a = self.mem.allocator().alloc(words).map_err(|e| self.poison(e))?;
-        self.allocs.push((a, words));
+        self.scratch.allocs.push((a, words));
         for i in 0..words as u64 {
             self.write(a + i, 0)?;
         }
@@ -242,7 +243,7 @@ impl<'m> Txn<'m> {
             .allocator()
             .alloc_aligned(wpl, wpl)
             .map_err(|e| self.poison(e))?;
-        self.allocs.push((a, wpl));
+        self.scratch.allocs.push((a, wpl));
         for i in 0..wpl as u64 {
             self.write(a + i, 0)?;
         }
@@ -252,7 +253,7 @@ impl<'m> Txn<'m> {
     /// Schedules a block to be freed if (and only if) this transaction
     /// commits.
     pub fn free(&mut self, addr: Addr, words: usize) {
-        self.frees.push((addr, words));
+        self.scratch.frees.push((addr, words));
     }
 
     /// Attempts to commit. Consumes the transaction.
@@ -272,7 +273,7 @@ impl<'m> Txn<'m> {
         // Charge the commit cost up front: `advance` may park us in the
         // lockstep runtime and nothing below may hold a lock across a park.
         self.rt.tx_event(TxEvent::Commit);
-        if self.writes.is_empty() {
+        if self.scratch.writes.is_empty() {
             // Read-only transactions were validated read-by-read against
             // `rv`; nothing to publish.
             self.finished = true;
@@ -292,91 +293,119 @@ impl<'m> Txn<'m> {
             return Ok(());
         }
 
-        let mut lines: Vec<usize> = self
-            .writes
-            .keys()
-            .map(|&a| self.mem.line_of(Addr(a)))
-            .collect();
-        lines.sort_unstable();
-        lines.dedup();
+        let mem = self.mem;
 
-        // Phase 1: write-lock the write lines in address order. No yields
-        // or advances from here to release, so lock holders never park.
-        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(lines.len());
-        for &line in &lines {
-            let cur = OrecValue(self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst));
-            let consistent_with_reads = match self.reads.get(&line) {
-                Some(&rec) => rec == cur.raw(),
-                None => true,
-            };
-            if cur.is_locked()
-                || !consistent_with_reads
-                || self
-                    .mem
-                    .orec(line)
-                    .compare_exchange(
-                        cur.raw(),
-                        cur.locked().raw(),
-                        std::sync::atomic::Ordering::SeqCst,
-                        std::sync::atomic::Ordering::SeqCst,
-                    )
-                    .is_err()
-            {
-                for &(l, orig) in &locked {
-                    self.mem.orec(l).store(orig, std::sync::atomic::Ordering::SeqCst);
+        // Phase 1: write-lock the write lines. `write_lines` is
+        // maintained sorted, which is both the deadlock-free global lock
+        // order and free of the collect/sort/dedup the old code did per
+        // commit. No yields or advances from here to release, so lock
+        // holders never park.
+        let failed = {
+            let scratch = &mut self.scratch;
+            debug_assert!(scratch.locked.is_empty());
+            let mut failed = false;
+            for &line in scratch.write_lines.as_slice() {
+                // Relaxed load: only a CAS candidate, re-validated by the
+                // CAS itself.
+                let cur = OrecValue(mem.orec(line).load(Ordering::Relaxed));
+                let consistent_with_reads = match scratch.reads.get(line as u64) {
+                    Some(rec) => rec == cur.raw(),
+                    None => true,
+                };
+                if cur.is_locked()
+                    || !consistent_with_reads
+                    || mem
+                        .orec(line)
+                        .compare_exchange(
+                            cur.raw(),
+                            cur.locked().raw(),
+                            // Acquire on success: synchronizes with the
+                            // previous owner's Release unlock so our word
+                            // stores (and validation loads) are ordered
+                            // after its published data; failure is just a
+                            // retry-later, Relaxed.
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        )
+                        .is_err()
+                {
+                    for &(l, orig) in &scratch.locked {
+                        // Release: unlocking must publish nothing-changed
+                        // to the next Acquire locker.
+                        mem.orec(l).store(orig, Ordering::Release);
+                    }
+                    failed = true;
+                    break;
                 }
-                self.rt.tx_event(TxEvent::Abort);
-                self.mem.stats_ref().record_abort(AbortCause::Conflict);
-                #[cfg(feature = "txsan")]
-                self.san_abort(AbortCause::Conflict);
-                self.rollback_internal();
-                return Err(AbortCause::Conflict);
+                scratch.locked.push((line, cur.raw()));
             }
-            locked.push((line, cur.raw()));
+            failed
+        };
+        if failed {
+            return Err(self.abort_commit(false));
         }
 
         // Phase 2: enter the write-back window *before* validating, so a
         // lock acquirer that bumps its lock word after our validation
-        // passes will wait for us in `quiesce`.
-        self.mem.writeback_enter();
-        let wv = self.mem.bump_clock();
+        // passes will wait for us in `quiesce` (the SeqCst Dekker pair
+        // lives inside `writeback_enter`/`quiesce`). The commit version
+        // is mode-dependent: GV1 advances the shared clock, GV5 samples
+        // it (legal only because the write locks are already held — see
+        // `ClockMode`).
+        mem.writeback_enter();
+        let wv = mem.commit_version();
 
         // Phase 3: validate the read set.
-        let write_lines: &[ (usize, u64) ] = &locked;
-        for (&line, &rec) in &self.reads {
-            if write_lines.iter().any(|&(l, _)| l == line) {
-                continue; // we hold this line's write lock
-            }
-            let cur = self.mem.orec(line).load(std::sync::atomic::Ordering::SeqCst);
-            if cur != rec {
-                for &(l, orig) in &locked {
-                    self.mem.orec(l).store(orig, std::sync::atomic::Ordering::SeqCst);
+        let failed = {
+            let scratch = &mut self.scratch;
+            let mut failed = false;
+            for &(line, rec) in scratch.reads.iter() {
+                if scratch.write_lines.contains(line as usize) {
+                    continue; // we hold this line's write lock
                 }
-                self.mem.writeback_exit();
-                self.rt.tx_event(TxEvent::Abort);
-                self.mem.stats_ref().record_abort(AbortCause::Conflict);
-                #[cfg(feature = "txsan")]
-                self.san_abort(AbortCause::Conflict);
-                self.rollback_internal();
-                return Err(AbortCause::Conflict);
+                // Acquire: pairs with writers' Release publishes; an
+                // unchanged orec here proves the line's data is still the
+                // begin-snapshot version. (The load is ordered after the
+                // writeback_enter fence, closing the Dekker race with
+                // lock acquirers.)
+                let cur = mem.orec(line as usize).load(Ordering::Acquire);
+                if cur != rec {
+                    for &(l, orig) in &scratch.locked {
+                        mem.orec(l).store(orig, Ordering::Release);
+                    }
+                    failed = true;
+                    break;
+                }
             }
+            failed
+        };
+        if failed {
+            mem.writeback_exit();
+            return Err(self.abort_commit(true));
         }
 
-        // Phase 4: publish.
-        for (&addr, &val) in &self.writes {
-            self.mem.word(Addr(addr)).store(val, std::sync::atomic::Ordering::SeqCst);
+        // Phase 4: publish. Word stores are Release: a reader's Acquire
+        // data load that observes one of them is then guaranteed to
+        // observe our lock CAS in its o2 re-check and abort. The final
+        // orec stores are Release so that a reader accepting the new
+        // version also sees all the data published under it.
+        {
+            let scratch = &self.scratch;
+            for &(addr, val) in scratch.writes.iter() {
+                mem.word(Addr(addr)).store(val, Ordering::Release);
+            }
+            let unlocked = OrecValue::unlocked(wv).raw();
+            for &(line, _) in &scratch.locked {
+                mem.orec(line).store(unlocked, Ordering::Release);
+            }
         }
-        let unlocked = OrecValue::unlocked(wv).raw();
-        for &(line, _) in &locked {
-            self.mem.orec(line).store(unlocked, std::sync::atomic::Ordering::SeqCst);
-        }
-        self.mem.writeback_exit();
+        mem.writeback_exit();
 
         // Guarded: `thread_id()` must not be evaluated while dormant (it
         // assigns ids on the real runtime).
         #[cfg(feature = "txsan")]
         if crate::san::enabled() {
-            for (&addr, &val) in &self.writes {
+            for &(addr, val) in self.scratch.writes.iter() {
                 crate::san::log(crate::san::SanEvent::TxCommitWrite {
                     txid: self.san_id,
                     addr,
@@ -388,7 +417,7 @@ impl<'m> Txn<'m> {
                 txid: self.san_id,
                 tid: self.rt.thread_id() as u64,
                 wv,
-                n_writes: self.writes.len() as u64,
+                n_writes: self.scratch.writes.len() as u64,
             });
         }
 
@@ -396,6 +425,21 @@ impl<'m> Txn<'m> {
         self.mem.stats_ref().record_commit();
         self.execute_frees();
         Ok(())
+    }
+
+    /// Shared tail of the two in-commit abort paths (locks already
+    /// released by the caller; `exited_writeback` tells whether phase 2
+    /// was reached). Keeps the runtime-hook order identical to the
+    /// pre-scratch code: unlock stores, then `TxEvent::Abort`.
+    fn abort_commit(&mut self, _exited_writeback: bool) -> AbortCause {
+        self.rt.tx_event(TxEvent::Abort);
+        self.mem.stats_ref().record_abort(AbortCause::Conflict);
+        // GV5 bump-on-validation-failure (no-op in GV1).
+        self.mem.note_conflict();
+        #[cfg(feature = "txsan")]
+        self.san_abort(AbortCause::Conflict);
+        self.rollback_internal();
+        AbortCause::Conflict
     }
 
     /// Abandons the transaction, returning its abort cause (or the given
@@ -413,19 +457,17 @@ impl<'m> Txn<'m> {
 
     fn rollback_internal(&mut self) {
         self.finished = true;
-        for (a, w) in self.allocs.drain(..) {
+        for (a, w) in self.scratch.allocs.drain(..) {
             self.mem.allocator().free(a, w);
         }
-        self.writes.clear();
-        self.reads.clear();
-        self.frees.clear();
+        self.scratch.reset();
     }
 
     fn execute_frees(&mut self) {
-        for (a, w) in self.frees.drain(..) {
+        for (a, w) in self.scratch.frees.drain(..) {
             self.mem.allocator().free(a, w);
         }
-        self.allocs.clear();
+        self.scratch.allocs.clear();
     }
 }
 
@@ -433,8 +475,8 @@ impl fmt::Debug for Txn<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Txn")
             .field("rv", &self.rv)
-            .field("reads", &self.reads.len())
-            .field("writes", &self.writes.len())
+            .field("reads", &self.scratch.reads.len())
+            .field("writes", &self.scratch.writes.len())
             .field("poisoned", &self.poisoned)
             .finish()
     }
@@ -453,13 +495,16 @@ impl Drop for Txn<'_> {
             self.san_abort(self.poisoned.unwrap_or(AbortCause::Conflict));
             self.rollback_internal();
         }
+        // Return the scratch (reset by the pool) for the next transaction
+        // on this thread.
+        self.rt.put_scratch(std::mem::take(&mut self.scratch));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TMemConfig;
+    use crate::config::{ClockMode, TMemConfig};
     use crate::runtime::RealRuntime;
 
     fn setup() -> (TMem, RealRuntime) {
@@ -587,6 +632,7 @@ mod tests {
             words_per_line_log2: 0,
             read_cap_lines: 1 << 12,
             write_cap_lines: 4,
+            ..TMemConfig::default()
         });
         let rt = RealRuntime::new();
         let a = m.alloc_direct(8).unwrap();
@@ -604,6 +650,7 @@ mod tests {
             words_per_line_log2: 0,
             read_cap_lines: 4,
             write_cap_lines: 1 << 12,
+            ..TMemConfig::default()
         });
         let rt = RealRuntime::new();
         let a = m.alloc_direct(8).unwrap();
@@ -701,9 +748,33 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_counter_increments_are_exact() {
+    fn footprint_counts_lines_not_words() {
+        // Several words on one line are one unit of footprint, kept
+        // correct by the incremental line bookkeeping.
+        let m = TMem::new(TMemConfig {
+            words: 1 << 10,
+            words_per_line_log2: 2, // 4 words per line
+            ..TMemConfig::default()
+        });
+        let rt = RealRuntime::new();
+        // Line-aligned so the 8 words straddle exactly two lines.
+        let a = m.alloc_line_direct(8).unwrap();
+        let mut tx = m.begin(&rt);
+        for i in 0..8 {
+            tx.write(a + i, i).unwrap();
+        }
+        assert_eq!(tx.write_footprint(), 2, "8 words on 2 lines");
+        // Rewriting the same words must not inflate the footprint.
+        for i in 0..8 {
+            tx.write(a + i, i + 1).unwrap();
+        }
+        assert_eq!(tx.write_footprint(), 2);
+        tx.commit().unwrap();
+    }
+
+    fn counter_torture(mode: ClockMode) {
         use std::sync::Arc;
-        let m = Arc::new(TMem::new(TMemConfig::default()));
+        let m = Arc::new(TMem::new(TMemConfig::default().with_clock_mode(mode)));
         let rt = Arc::new(RealRuntime::new());
         let a = m.alloc_direct(1).unwrap();
         let threads = 4;
@@ -738,5 +809,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.read_direct(rt.as_ref(), a), (threads * per) as u64);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        counter_torture(ClockMode::Gv1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact_gv5() {
+        counter_torture(ClockMode::Gv5);
+    }
+
+    #[test]
+    fn gv5_uncontended_writer_commits_without_clock_bump() {
+        let rt = RealRuntime::new();
+        let m = TMem::new(
+            TMemConfig::small_word_granular().with_clock_mode(ClockMode::Gv5),
+        );
+        let a = m.alloc_direct(1).unwrap();
+        let clock_before = m.clock();
+        let mut tx = m.begin(&rt);
+        tx.write(a, 1).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(
+            m.clock(),
+            clock_before,
+            "GV5 writer commit must not touch the shared clock"
+        );
+        // The line's published version is the sampled clock + 1 …
+        assert_eq!(m.read_direct(&rt, a), 1);
+        // … and a fresh reader, whose snapshot is behind it, conflicts
+        // once, bumping the clock so its retry succeeds (progress).
+        let mut r = m.begin(&rt);
+        assert_eq!(r.read(a).unwrap_err(), AbortCause::Conflict);
+        let _ = r.rollback(AbortCause::Conflict);
+        assert_eq!(m.clock(), clock_before + 1, "bump on validation failure");
+        let mut r2 = m.begin(&rt);
+        assert_eq!(r2.read(a).unwrap(), 1);
+        r2.commit().unwrap();
+    }
+
+    #[test]
+    fn gv5_write_write_conflict_detected() {
+        let rt = RealRuntime::new();
+        let m = TMem::new(
+            TMemConfig::small_word_granular().with_clock_mode(ClockMode::Gv5),
+        );
+        let a = m.alloc_direct(1).unwrap();
+        let mut t1 = m.begin(&rt);
+        assert_eq!(t1.read(a).unwrap(), 0);
+        t1.write(a, 1).unwrap();
+        let mut t2 = m.begin(&rt);
+        t2.write(a, 2).unwrap();
+        t2.commit().unwrap();
+        // t1 read the line before t2 republished it; its commit must fail
+        // even though t2's version may equal the one t1 recorded + 0 bumps.
+        assert_eq!(t1.commit().unwrap_err(), AbortCause::Conflict);
+        assert_eq!(m.read_direct(&rt, a), 2);
     }
 }

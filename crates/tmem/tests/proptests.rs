@@ -145,6 +145,68 @@ proptest_lite! {
         prop_assert!(tx.commit().is_err());
     }
 
+    /// Pooled scratch (read/write sets) is fully reset between
+    /// transactions on the same thread, whatever way the previous
+    /// transaction ended: commit, explicit rollback, or a conflict abort
+    /// at commit time. A leaked entry would show up as a phantom
+    /// footprint, a stale read value, or a write published by a later
+    /// commit.
+    fn scratch_reuse_across_outcomes(
+        txs in vec_of(tuple2(vec_of(tuple2(u64s(0..WORDS as u64), any_u64()), 0..8),
+                             u64s(0..3)),
+                      1..40)
+    ) {
+        let mem = TMem::new(TMemConfig::small_word_granular());
+        let rt = RealRuntime::new();
+        let base = mem.alloc_direct(WORDS).unwrap();
+        let mut model = vec![0u64; WORDS];
+        for (writes, outcome) in txs {
+            let mut tx = mem.begin(&rt);
+            // A recycled scratch must start empty.
+            prop_assert_eq!(tx.read_footprint(), 0);
+            prop_assert_eq!(tx.write_footprint(), 0);
+            let mut m = model.clone();
+            for &(a, v) in &writes {
+                // Reads must never see residue from a previous tx's
+                // write set.
+                prop_assert_eq!(tx.read(base + a).unwrap(), m[a as usize]);
+                tx.write(base + a, v).unwrap();
+                prop_assert_eq!(tx.read(base + a).unwrap(), v);
+                m[a as usize] = v;
+            }
+            prop_assert!(tx.write_footprint() <= writes.len());
+            match outcome {
+                // Commit: the model advances.
+                0 => {
+                    prop_assert!(tx.commit().is_ok());
+                    model = m;
+                }
+                // Explicit rollback: the model must not move.
+                1 => {
+                    let _ = tx.rollback(AbortCause::Explicit(7));
+                }
+                // Conflict abort at commit time: invalidate a read line
+                // behind the transaction's back, then watch it fail.
+                _ => {
+                    let a = writes.first().map_or(0, |&(a, _)| a);
+                    prop_assert_eq!(tx.read(base + a).unwrap(), m[a as usize]);
+                    mem.write_direct(&rt, base + a, 0xDEAD);
+                    model[a as usize] = 0xDEAD;
+                    if writes.is_empty() {
+                        // Read-only transactions serialize at begin time;
+                        // the later direct write does not doom them.
+                        prop_assert!(tx.commit().is_ok());
+                    } else {
+                        prop_assert!(tx.commit().is_err());
+                    }
+                }
+            }
+        }
+        for a in 0..WORDS as u64 {
+            prop_assert_eq!(mem.read_direct(&rt, base + a), model[a as usize]);
+        }
+    }
+
     /// Capacity limits are enforced exactly at the configured line count.
     fn capacity_is_exact(cap in usizes(1..16)) {
         let mem = TMem::new(TMemConfig {
@@ -152,6 +214,7 @@ proptest_lite! {
             words_per_line_log2: 0,
             read_cap_lines: cap,
             write_cap_lines: cap,
+            ..TMemConfig::default()
         });
         let rt = RealRuntime::new();
         let base = mem.alloc_direct(32).unwrap();

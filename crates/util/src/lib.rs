@@ -12,6 +12,8 @@
 //!   workloads draw from.
 //! * [`sync`] — `parking_lot`-shaped shims ([`sync::Mutex`],
 //!   [`sync::Condvar`], [`sync::SpinMutex`]) over `std::sync`.
+//! * [`pad`] — [`pad::CachePadded`], cache-line-pair alignment against
+//!   false sharing of contended atomics.
 //! * [`ptest`] — the `proptest_lite` property-testing harness: seeded
 //!   case generation, shrinking by halving, failure-seed reporting.
 //!
@@ -22,6 +24,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 pub mod dist;
+pub mod pad;
 pub mod ptest;
 pub mod rng;
 pub mod sync;
