@@ -88,8 +88,7 @@ fn json_row(row: &Row) -> String {
         concat!(
             "{{\"ds\":\"{}\",\"workload\":\"{}\",\"variant\":\"{}\",",
             "\"threads\":{},\"total_ops\":{},\"elapsed_ns\":{},",
-            "\"ops_per_sec\":{:.2},\"abort_rate\":{:.4},\"lock_acqs\":{},",
-            "\"htm_attempts\":{},\"htm_commits\":{},",
+            "\"ops_per_sec\":{:.2},\"abort_rate\":{:.4},\"exec\":{},",
             "\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}"
         ),
         row.ds,
@@ -100,9 +99,7 @@ fn json_row(row: &Row) -> String {
         r.elapsed_ns,
         r.ops_per_sec(),
         r.abort_rate(),
-        r.exec.lock_acqs,
-        r.exec.htm_attempts,
-        r.exec.htm_commits,
+        r.exec.to_json(),
         r.latency.mean_ns,
         r.latency.p50_ns,
         r.latency.p90_ns,
@@ -152,7 +149,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hcf-bench-native/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"hcf-bench-native/v2\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"seed\": {},", seed());
     let _ = writeln!(json, "  \"ops_per_thread\": {ops},");

@@ -208,6 +208,27 @@ impl ArrayStatsSnapshot {
             self.helped_ops as f64 / self.sessions as f64
         }
     }
+
+    /// Serializes this snapshot as a JSON object (hand-formatted; the
+    /// tree is dependency-free). Keys are stable: consumers include the
+    /// `kv` STATS command and the bench JSON emitters.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completed\":{:?},\"sessions\":{},\"helped_ops\":{},",
+                "\"degree_hist\":{:?},\"attempts\":{},\"commits\":{},",
+                "\"abort_rate\":{:.6},\"avg_degree\":{:.4}}}"
+            ),
+            self.completed,
+            self.sessions,
+            self.helped_ops,
+            self.degree_hist,
+            self.attempts,
+            self.commits,
+            self.abort_rate(),
+            self.avg_degree(),
+        )
+    }
 }
 
 /// Point-in-time copy of [`ExecStats`].
@@ -267,6 +288,32 @@ impl ExecStatsSnapshot {
             self.htm_attempts.saturating_sub(self.htm_commits) as f64 / self.htm_attempts as f64
         }
     }
+
+    /// Serializes the snapshot as a JSON object, including the derived
+    /// metrics every consumer recomputed by hand before this existed
+    /// (abort rate, average combining degree, total ops). Array-level
+    /// detail nests under `"arrays"` via [`ArrayStatsSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        let arrays: Vec<String> = self.arrays.iter().map(|a| a.to_json()).collect();
+        format!(
+            concat!(
+                "{{\"total_ops\":{},\"lock_acqs\":{},\"htm_attempts\":{},",
+                "\"htm_commits\":{},\"htm_conflicts\":{},\"htm_capacity\":{},",
+                "\"htm_explicit\":{},\"abort_rate\":{:.6},\"avg_degree\":{:.4},",
+                "\"arrays\":[{}]}}"
+            ),
+            self.total_ops(),
+            self.lock_acqs,
+            self.htm_attempts,
+            self.htm_commits,
+            self.htm_conflicts,
+            self.htm_capacity,
+            self.htm_explicit,
+            self.abort_rate(),
+            self.avg_degree(),
+            arrays.join(","),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +368,35 @@ mod tests {
         assert_eq!(Phase::ALL.len(), 4);
         for p in Phase::ALL {
             assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_and_complete() {
+        let s = ExecStats::new(2);
+        s.completed(0, Phase::Private);
+        s.completed(1, Phase::Lock);
+        s.session(1, 3);
+        s.attempt(0);
+        s.attempt(0);
+        s.commit(0);
+        s.lock_acquired();
+        let j = s.snapshot().to_json();
+        // Hand-formatted, so sanity-check both shape and content.
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        for key in [
+            "\"total_ops\":2",
+            "\"lock_acqs\":1",
+            "\"htm_attempts\":2",
+            "\"htm_commits\":1",
+            "\"abort_rate\":0.5",
+            "\"arrays\":[",
+            "\"sessions\":1",
+            "\"avg_degree\":3.0",
+            "\"degree_hist\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
         }
     }
 

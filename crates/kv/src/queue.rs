@@ -1,0 +1,231 @@
+//! Bounded per-shard request queues and the worker wakeup gate.
+//!
+//! Each shard owns one [`BoundedQueue`]; connection threads are the
+//! producers, the shard's owning worker the (single) consumer. The
+//! bound is the service's backpressure: a full queue makes
+//! [`BoundedQueue::try_push`] fail immediately and the connection
+//! replies `BUSY` (load shedding) instead of buffering without limit.
+//!
+//! A worker owns *several* queues, so it cannot block on any single
+//! queue's condition variable. Instead each worker has one [`Gate`] —
+//! an eventcount: producers `notify` the owning worker's gate after a
+//! successful push, and the worker `wait`s only after a sweep over all
+//! its queues found nothing. A notify that races ahead of the wait just
+//! leaves the flag set, so the wait returns immediately and the worker
+//! re-sweeps: wakeups can be spurious but never lost.
+
+use std::collections::VecDeque;
+
+use hcf_util::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure — shed the request).
+    Full(T),
+    /// The queue was closed for shutdown.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue. Producers never block; the consumer drains
+/// non-blockingly and parks on its [`Gate`].
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            cap,
+        }
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.state.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.buf.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        g.buf.push_back(item);
+        Ok(())
+    }
+
+    /// Moves up to `max` items into `out`. Returns `false` once the
+    /// queue is closed — but items queued before the close are still
+    /// drained first, so a `false` with an empty `out` means fully
+    /// drained *and* closed: the consumer may retire this queue.
+    pub fn drain(&self, max: usize, out: &mut Vec<T>) -> bool {
+        let mut g = self.state.lock();
+        let n = g.buf.len().min(max);
+        out.extend(g.buf.drain(..n));
+        !g.closed
+    }
+
+    /// Items currently queued (the shard's backlog).
+    pub fn len(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail, queued items still drain.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+    }
+}
+
+/// A per-worker eventcount: `notify` sets a flag and wakes the worker;
+/// `wait` blocks until the flag is set, then clears it.
+#[derive(Debug, Default)]
+pub struct Gate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// Creates a gate with no pending signal.
+    pub fn new() -> Self {
+        Gate::default()
+    }
+
+    /// Signals the gate (idempotent until consumed by `wait`).
+    pub fn notify(&self) {
+        *self.flag.lock() = true;
+        self.cv.notify_one();
+    }
+
+    /// Blocks until signalled, consuming the signal.
+    pub fn wait(&self) {
+        let mut g = self.flag.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_drain_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        let mut out = Vec::new();
+        assert!(q.drain(2, &mut out));
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.len(), 1);
+        assert!(q.drain(8, &mut out));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        let mut out = Vec::new();
+        q.drain(1, &mut out);
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_retires() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        let mut out = Vec::new();
+        assert!(!q.drain(8, &mut out), "closed");
+        assert_eq!(out, vec![1], "pre-close items still drain");
+        out.clear();
+        assert!(!q.drain(8, &mut out) && out.is_empty(), "fully retired");
+    }
+
+    #[test]
+    fn gate_never_loses_a_prior_notify() {
+        let gate = Gate::new();
+        gate.notify();
+        gate.notify(); // coalesces
+        gate.wait(); // returns immediately: flag was set before the wait
+    }
+
+    #[test]
+    fn producers_and_consumer_across_threads() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let gate = Arc::new(Gate::new());
+        let consumer = {
+            let (q, gate) = (q.clone(), gate.clone());
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                let mut out = Vec::new();
+                loop {
+                    out.clear();
+                    let open = q.drain(64, &mut out);
+                    got += out.len() as u64;
+                    if out.is_empty() {
+                        if !open {
+                            return got;
+                        }
+                        gate.wait();
+                    }
+                }
+            })
+        };
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (q, gate) = (q.clone(), gate.clone());
+                s.spawn(move || {
+                    for i in 0..500 {
+                        loop {
+                            match q.try_push(t * 1000 + i) {
+                                Ok(()) => break,
+                                Err(PushError::Full(_)) => std::thread::yield_now(),
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                        gate.notify();
+                    }
+                });
+            }
+        });
+        q.close();
+        gate.notify();
+        assert_eq!(consumer.join().unwrap(), 2000);
+    }
+}

@@ -36,6 +36,7 @@ pub mod cost;
 pub mod driver;
 pub mod lincheck;
 pub mod native;
+pub mod progress;
 pub mod runtime;
 pub mod sched;
 pub mod topology;
@@ -49,6 +50,7 @@ pub use native::{
     run_native, run_native_with, LatencyStats, NativeConfig, NativeError, NativeHistory,
     NativeRunResult,
 };
+pub use progress::{Liveness, ProgressMeter, StallTracker};
 pub use runtime::LockstepRuntime;
 pub use sched::LockstepScheduler;
 pub use topology::Topology;

@@ -32,7 +32,7 @@
 //! count and scheduler; see `DESIGN.md` ("Native execution mode") for
 //! what these numbers do and do not mean next to the lockstep figures.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +45,7 @@ use hcf_tmem::stats::TxStatsSnapshot;
 use hcf_tmem::{DirectCtx, MemCtx, RealRuntime, TMem, TMemConfig, TxResult};
 
 use crate::lincheck::OpSpan;
+use crate::progress::{Liveness, ProgressMeter, StallTracker};
 
 /// Configuration of one native (real-thread) stress run.
 #[derive(Clone, Debug)]
@@ -250,8 +251,7 @@ impl std::error::Error for NativeError {}
 /// State shared between the workers and the watchdog.
 struct Shared {
     stop: AtomicBool,
-    done: AtomicUsize,
-    ops: Vec<AtomicU64>,
+    meter: ProgressMeter,
 }
 
 /// What one worker hands back on completion.
@@ -349,8 +349,7 @@ where
 
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
-        done: AtomicUsize::new(0),
-        ops: (0..cfg.threads).map(|_| AtomicU64::new(0)).collect(),
+        meter: ProgressMeter::new(cfg.threads),
     });
     let outs: Arc<Vec<Mutex<Option<WorkerOut<D>>>>> =
         Arc::new((0..cfg.threads).map(|_| Mutex::new(None)).collect());
@@ -364,7 +363,7 @@ where
     }
     impl Drop for ExitGuard {
         fn drop(&mut self) {
-            self.shared.done.fetch_add(1, Ordering::Release);
+            self.shared.meter.mark_done();
         }
     }
 
@@ -409,46 +408,35 @@ where
                         res,
                     });
                 }
-                shared.ops[tid].fetch_add(1, Ordering::Relaxed);
+                shared.meter.record(tid, 1);
             }
             *outs[tid].lock() = Some(WorkerOut { latencies, spans });
         }));
     }
 
     // Watchdog: poll the per-thread completion counters; any increment
-    // anywhere counts as progress. `ExecStats` mid-run snapshots would
-    // work too (their relaxed counters are documented monotonic), but the
-    // dedicated counters keep the probe independent of executor
-    // instrumentation.
-    let watchdog_ns = cfg.watchdog_ms.saturating_mul(1_000_000);
-    let mut last_total = 0u64;
-    let mut last_change = rt.now();
+    // anywhere counts as progress (see `crate::progress` for the shared
+    // semantics). `ExecStats` mid-run snapshots would work too (their
+    // relaxed counters are documented monotonic), but the dedicated
+    // counters keep the probe independent of executor instrumentation.
+    let mut tracker = StallTracker::new(cfg.watchdog_ms.saturating_mul(1_000_000), rt.now());
     loop {
-        if shared.done.load(Ordering::Acquire) == cfg.threads {
+        if shared.meter.all_done() {
             break;
         }
         std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
-        let total: u64 = shared.ops.iter().map(|c| c.load(Ordering::Relaxed)).sum();
-        let now = rt.now();
-        if total != last_total {
-            last_total = total;
-            last_change = now;
-        } else if now.saturating_sub(last_change) >= watchdog_ns {
+        if let Liveness::Stalled(idle_ns) = tracker.observe(shared.meter.total(), rt.now()) {
             // Ask well-behaved workers to wind down, then abandon the
             // stuck ones: a thread spinning inside `execute` cannot be
             // cancelled, so the handles are dropped (detached).
             shared.stop.store(true, Ordering::Relaxed);
             return Err(NativeError::Stalled {
                 variant,
-                completed_ops: total,
-                per_thread_ops: shared
-                    .ops
-                    .iter()
-                    .map(|c| c.load(Ordering::Relaxed))
-                    .collect(),
-                threads_done: shared.done.load(Ordering::Acquire),
+                completed_ops: shared.meter.total(),
+                per_thread_ops: shared.meter.per_worker(),
+                threads_done: shared.meter.done(),
                 threads: cfg.threads,
-                stalled_for_ms: now.saturating_sub(last_change) / 1_000_000,
+                stalled_for_ms: idle_ns / 1_000_000,
             });
         }
     }
@@ -466,11 +454,7 @@ where
         latencies.extend(out.latencies);
         history.extend(out.spans);
     }
-    let per_thread_ops: Vec<u64> = shared
-        .ops
-        .iter()
-        .map(|c| c.load(Ordering::Relaxed))
-        .collect();
+    let per_thread_ops: Vec<u64> = shared.meter.per_worker();
     Ok((
         NativeRunResult {
             variant,

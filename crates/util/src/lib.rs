@@ -16,6 +16,10 @@
 //!   false sharing of contended atomics.
 //! * [`ptest`] — the `proptest_lite` property-testing harness: seeded
 //!   case generation, shrinking by halving, failure-seed reporting.
+//! * [`frame`] — length-prefixed RESP-like framing for the `hcf-kv`
+//!   wire protocol.
+//! * [`shard`] — SplitMix64-based byte-string hashing and shard
+//!   routing for the KV service.
 //!
 //! The crate deliberately has **zero dependencies** and denies missing
 //! docs on its public API.
@@ -24,7 +28,9 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 pub mod dist;
+pub mod frame;
 pub mod pad;
 pub mod ptest;
 pub mod rng;
+pub mod shard;
 pub mod sync;
